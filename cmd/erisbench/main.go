@@ -1,0 +1,58 @@
+// Command erisbench regenerates the ERIS paper's tables and figures on the
+// simulated NUMA machines.
+//
+// Usage:
+//
+//	erisbench [-quick] [-scale N] [experiment ...]
+//
+// With no arguments it runs every experiment in paper order. Experiment IDs
+// are listed with -list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eris/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced sizes/durations")
+	scale := flag.Float64("scale", 0, "override the data scale-down factor (default 2048)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range bench.Registry() {
+			ids = append(ids, e.ID)
+		}
+	}
+	params := bench.Params{Quick: *quick, Scale: *scale}
+	for _, id := range ids {
+		exp, err := bench.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s: %s\n", exp.ID, exp.Paper)
+		start := time.Now()
+		tables, err := exp.Run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", exp.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", exp.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,100 @@
+// Command erisload drives a configurable lookup/upsert/scan workload
+// against an ERIS engine through the public API and reports throughput and
+// interconnect counters — a smoke/load-test tool for the storage engine.
+//
+// Usage:
+//
+//	erisload [-machine intel] [-workers N] [-keys 1048576] [-dur 0.002]
+//	         [-mix lookup|upsert|scan] [-balancer oneshot|maN] [-hot 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"eris"
+	"eris/internal/aeu"
+	"eris/internal/core"
+	"eris/internal/hwcounter"
+	"eris/internal/workload"
+)
+
+func main() {
+	machine := flag.String("machine", "intel", "simulated machine: intel, amd, sgi, single")
+	workers := flag.Int("workers", 0, "AEU count (0 = all cores)")
+	keys := flag.Uint64("keys", 1<<20, "key domain size")
+	dur := flag.Float64("dur", 0.002, "measured virtual seconds")
+	mix := flag.String("mix", "lookup", "workload: lookup, upsert, or scan")
+	balancer := flag.String("balancer", "", "load balancing algorithm (oneshot, maN; empty = off)")
+	hot := flag.Float64("hot", 0, "restrict lookups to the first fraction of the domain (0 = uniform)")
+	flag.Parse()
+
+	db, err := eris.Open(eris.Options{
+		Machine: *machine, Workers: *workers,
+		Balancer: *balancer, BalancerIntervalSec: *dur / 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	const obj = 1
+	var keygen workload.KeyGen = workload.Uniform{Domain: *keys}
+	if *hot > 0 && *hot < 1 {
+		keygen = workload.HotRange{Lo: 0, Hi: uint64(float64(*keys) * *hot)}
+	}
+
+	switch *mix {
+	case "lookup", "upsert":
+		idx, err := db.CreateIndex("bench", *keys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *mix == "lookup" {
+			if err := idx.LoadDense(*keys, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+		db.Engine().SetGenerators(func(i int) aeu.Generator {
+			if *mix == "lookup" {
+				return &core.LookupGenerator{Object: obj, Keys: keygen, Batch: 64, DurationSec: *dur * 3}
+			}
+			return &core.UpsertGenerator{Object: obj, Keys: keygen, Batch: 64, DurationSec: *dur * 3}
+		})
+	case "scan":
+		col, err := db.CreateColumn("bench")
+		if err != nil {
+			log.Fatal(err)
+		}
+		per := int64(*keys) / int64(db.Engine().NumAEUs())
+		if err := col.LoadUniform(per, nil); err != nil {
+			log.Fatal(err)
+		}
+		db.Engine().SetGenerators(func(i int) aeu.Generator {
+			return &core.SelfScanGenerator{Object: obj, Pred: eris.PredAll(), DurationSec: *dur * 3}
+		})
+	default:
+		log.Fatalf("unknown mix %q", *mix)
+	}
+
+	if err := db.Start(); err != nil {
+		log.Fatal(err)
+	}
+	session := hwcounter.Start(db.Engine().Machine())
+	start := time.Now()
+	if err := db.Engine().WaitVirtual(*dur, 30*time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	report := session.Report()
+	db.Close()
+
+	fmt.Printf("machine %s, %d AEUs, %s workload over %d keys\n",
+		*machine, db.Engine().NumAEUs(), *mix, *keys)
+	fmt.Print(report)
+	if cycles := db.Engine().Balancer().Cycles(); len(cycles) > 0 {
+		fmt.Printf("balancing cycles: %d\n", len(cycles))
+	}
+	fmt.Printf("(real time: %.1fs)\n", time.Since(start).Seconds())
+}

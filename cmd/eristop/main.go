@@ -1,0 +1,137 @@
+// Command eristop runs a skewed lookup workload on an ERIS engine and
+// prints a live, top-like view of the system while the load balancer works:
+// per-AEU operation counts, partition sizes and bounds, the busiest
+// interconnect links, and the balancing cycles as they happen.
+//
+// Usage:
+//
+//	eristop [-machine amd] [-workers 16] [-keys 262144] [-dur 0.05]
+//	        [-balancer oneshot] [-refresh 500ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"eris"
+	"eris/internal/aeu"
+	"eris/internal/command"
+	"eris/internal/workload"
+)
+
+func main() {
+	machine := flag.String("machine", "amd", "simulated machine")
+	workers := flag.Int("workers", 16, "AEU count (0 = all cores)")
+	keys := flag.Uint64("keys", 1<<18, "key domain size")
+	dur := flag.Float64("dur", 0.05, "workload duration in virtual seconds")
+	balancer := flag.String("balancer", "oneshot", "balancing algorithm (oneshot, maN, empty = off)")
+	refresh := flag.Duration("refresh", 500*time.Millisecond, "real-time refresh interval")
+	flag.Parse()
+
+	db, err := eris.Open(eris.Options{
+		Machine: *machine, Workers: *workers,
+		Balancer: *balancer, BalancerIntervalSec: *dur / 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	idx, err := db.CreateIndex("live", *keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := idx.LoadDense(*keys, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// Skewed workload: all lookups hit the first quarter of the domain.
+	hot := workload.HotRange{Lo: 0, Hi: *keys / 4}
+	durSec := *dur
+	db.Engine().SetGenerators(func(i int) aeu.Generator {
+		start := -1.0
+		buf := make([]uint64, 512)
+		return aeu.GeneratorFunc(func(a *aeu.AEU) bool {
+			if start < 0 {
+				start = a.ClockNS()
+			}
+			if (a.ClockNS()-start)/1e9 >= durSec {
+				return false
+			}
+			workload.FillBatch(hot, a.Rng, 0, buf)
+			a.Outbox().RouteLookup(1, buf, command.NoReply, 0)
+			return true
+		})
+	})
+	if err := db.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	e := db.Engine()
+	epoch := e.Machine().StartEpoch()
+	prevOps := make([]int64, e.NumAEUs())
+	done := make(chan error, 1)
+	go func() { done <- e.WaitVirtual(durSec, 10*time.Minute) }()
+
+	frame := 0
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				log.Fatal(err)
+			}
+			db.Close()
+			printFrame(db, prevOps, epoch, frame, true)
+			return
+		case <-time.After(*refresh):
+			frame++
+			printFrame(db, prevOps, epoch, frame, false)
+		}
+	}
+}
+
+func printFrame(db *eris.DB, prevOps []int64, epoch interface {
+	Throughput() float64
+	LinkBandwidthGBs() float64
+	MCBandwidthGBs() float64
+}, frame int, final bool) {
+	e := db.Engine()
+	header := fmt.Sprintf("--- frame %d  t=%.4fs virtual  %.1f M ops/s  links %.1f GB/s  mem %.1f GB/s ---",
+		frame, e.MinClockSec(), epoch.Throughput()/1e6, epoch.LinkBandwidthGBs(), epoch.MCBandwidthGBs())
+	if final {
+		header = "--- final " + header[4:]
+	}
+	fmt.Println(header)
+
+	entries := e.Router().OwnerEntries(1)
+	domain, _ := e.Domain(1)
+	var maxDelta int64 = 1
+	deltas := make([]int64, e.NumAEUs())
+	for i, a := range e.AEUs() {
+		ops := a.Stats().Ops
+		deltas[i] = ops - prevOps[i]
+		prevOps[i] = ops
+		if deltas[i] > maxDelta {
+			maxDelta = deltas[i]
+		}
+	}
+	for i, a := range e.AEUs() {
+		lo := entries[i].Low
+		hi := domain
+		if i+1 < len(entries) {
+			hi = entries[i+1].Low
+		}
+		bar := strings.Repeat("#", int(deltas[i]*30/maxDelta))
+		fmt.Printf("AEU %2d  node %d  range [%7d,%7d)  %8d keys  +%-8d %s\n",
+			a.ID, a.Node, lo, hi, a.Partition(1).SizeTuples(), deltas[i], bar)
+	}
+	if cycles := e.Balancer().Cycles(); len(cycles) > 0 {
+		last := cycles[len(cycles)-1]
+		fmt.Printf("balancer: %d cycles, last at t=%.4fs (%s, imbalance %.2f, ~%d tuples)\n",
+			len(cycles), last.TimeSec, last.Algorithm, last.Imbalance, last.MovedEst)
+	}
+	fmt.Println()
+}

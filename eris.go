@@ -1,0 +1,282 @@
+// Package eris is the public API of the ERIS storage engine
+// reproduction: a NUMA-aware, data-oriented, in-memory storage engine for
+// analytical workloads (Kissinger et al., ADMS/VLDB 2014), running on a
+// simulated NUMA machine.
+//
+// An Engine runs one Autonomous Execution Unit (AEU) per simulated core.
+// Data objects are either range-partitioned prefix-tree indexes (lookup,
+// upsert, range scan) or size-partitioned columns (filtered full scans);
+// each AEU exclusively owns one partition per object. Data commands travel
+// through a NUMA-optimized routing layer, and an optional load balancer
+// adapts the partitioning to workload skew at runtime.
+//
+// Basic use:
+//
+//	db, err := eris.Open(eris.Options{Machine: "intel"})
+//	idx, err := db.CreateIndex("orders", 1<<20)
+//	db.Start()
+//	idx.Upsert([]eris.KV{{Key: 42, Value: 7}})
+//	kvs, err := idx.Lookup([]uint64{42})
+//	db.Close()
+package eris
+
+import (
+	"fmt"
+
+	"eris/internal/aeu"
+	"eris/internal/balance"
+	"eris/internal/colstore"
+	"eris/internal/core"
+	"eris/internal/numasim"
+	"eris/internal/prefixtree"
+	"eris/internal/routing"
+	"eris/internal/topology"
+)
+
+// KV is a key/value pair.
+type KV = prefixtree.KV
+
+// Predicate filters scans; see the Pred* constructors.
+type Predicate = colstore.Predicate
+
+// Predicate constructors.
+func PredAll() Predicate             { return Predicate{Op: colstore.All} }
+func PredLess(v uint64) Predicate    { return Predicate{Op: colstore.Less, Operand: v} }
+func PredGreater(v uint64) Predicate { return Predicate{Op: colstore.Greater, Operand: v} }
+func PredEqual(v uint64) Predicate   { return Predicate{Op: colstore.Equal, Operand: v} }
+func PredBetween(lo, hi uint64) Predicate {
+	return Predicate{Op: colstore.Between, Operand: lo, High: hi}
+}
+
+// ScanResult aggregates a scan: how many values matched and their sum.
+type ScanResult = core.ScanAggregate
+
+// Options configures an engine.
+type Options struct {
+	// Machine selects the simulated NUMA platform: "intel" (4 nodes, 40
+	// cores), "amd" (8 nodes, 64 cores), "sgi" (64 nodes, 512 cores) or
+	// "single" (no NUMA). Default "intel".
+	Machine string
+	// Workers limits the AEU count (0 = one per core of the machine).
+	Workers int
+	// Balancer enables the load balancer with the given algorithm:
+	// "" (off), "oneshot", or "maN" for a moving average of window N
+	// (e.g. "ma8").
+	Balancer string
+	// BalancerIntervalSec is the monitoring window in virtual seconds
+	// (default 1.0; benchmarks use much shorter windows).
+	BalancerIntervalSec float64
+	// KeyBits bounds index keys (default 64, the paper's configuration).
+	KeyBits int
+	// ModelCaches enables the LLC simulator (slower, but reproduces the
+	// paper's cache-locality effects). CacheScale divides the modeled LLC
+	// capacity when the data is scaled down; 1 models the full machine.
+	ModelCaches bool
+	CacheScale  float64
+}
+
+// DB is an open engine instance.
+type DB struct {
+	engine  *core.Engine
+	alg     balance.Algorithm
+	nextID  routing.ObjectID
+	byName  map[string]routing.ObjectID
+	started bool
+}
+
+// Open builds an engine from options; create objects, optionally bulk-load
+// them, then Start.
+func Open(opts Options) (*DB, error) {
+	if opts.Machine == "" {
+		opts.Machine = "intel"
+	}
+	topo, err := topology.ByName(opts.Machine)
+	if err != nil {
+		return nil, err
+	}
+	var machineCfg numasim.Config
+	if opts.ModelCaches {
+		machineCfg.CacheScale = opts.CacheScale
+		if machineCfg.CacheScale == 0 {
+			machineCfg.CacheScale = 1
+		}
+	}
+	alg, err := parseAlgorithm(opts.Balancer)
+	if err != nil {
+		return nil, err
+	}
+	e, err := core.New(core.Config{
+		Topology: topo,
+		NumAEUs:  opts.Workers,
+		Machine:  machineCfg,
+		Tree:     prefixtree.Config{KeyBits: opts.KeyBits, PrefixBits: 8},
+		Balance:  balance.Config{SampleIntervalSec: opts.BalancerIntervalSec},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{engine: e, alg: alg, byName: make(map[string]routing.ObjectID)}, nil
+}
+
+func parseAlgorithm(name string) (balance.Algorithm, error) {
+	switch {
+	case name == "":
+		return nil, nil
+	case name == "oneshot":
+		return balance.OneShot{}, nil
+	case len(name) > 2 && name[:2] == "ma":
+		var w int
+		if _, err := fmt.Sscanf(name[2:], "%d", &w); err != nil || w < 1 {
+			return nil, fmt.Errorf("eris: bad balancer %q (want oneshot or maN)", name)
+		}
+		return balance.MovingAverage{Window: w}, nil
+	default:
+		return nil, fmt.Errorf("eris: bad balancer %q (want oneshot or maN)", name)
+	}
+}
+
+// Engine exposes the underlying engine for advanced use (benchmark
+// harnesses, counter inspection).
+func (db *DB) Engine() *core.Engine { return db.engine }
+
+func (db *DB) newObject(name string) (routing.ObjectID, error) {
+	if _, dup := db.byName[name]; dup {
+		return 0, fmt.Errorf("eris: object %q already exists", name)
+	}
+	db.nextID++
+	db.byName[name] = db.nextID
+	return db.nextID, nil
+}
+
+// Index is a range-partitioned prefix-tree index object.
+type Index struct {
+	db     *DB
+	id     routing.ObjectID
+	name   string
+	domain uint64
+}
+
+// CreateIndex declares an index over the key domain [0, domain). Must be
+// called before Start.
+func (db *DB) CreateIndex(name string, domain uint64) (*Index, error) {
+	id, err := db.newObject(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.engine.CreateIndex(id, domain); err != nil {
+		delete(db.byName, name)
+		return nil, err
+	}
+	if db.alg != nil {
+		if err := db.engine.Watch(id, db.alg); err != nil {
+			return nil, err
+		}
+	}
+	return &Index{db: db, id: id, name: name, domain: domain}, nil
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Domain returns the exclusive upper bound of the key domain.
+func (ix *Index) Domain() uint64 { return ix.domain }
+
+// LoadDense bulk-loads keys [0, n) before Start; valueOf nil stores the key
+// as its own value.
+func (ix *Index) LoadDense(n uint64, valueOf func(key uint64) uint64) error {
+	return ix.db.engine.LoadIndexDense(ix.id, n, valueOf)
+}
+
+// Upsert inserts or overwrites pairs (engine must be started).
+func (ix *Index) Upsert(kvs []KV) error {
+	return ix.db.engine.Upsert(ix.id, kvs)
+}
+
+// Lookup returns the found pairs for keys, sorted by key.
+func (ix *Index) Lookup(keys []uint64) ([]KV, error) {
+	return ix.db.engine.Lookup(ix.id, keys)
+}
+
+// ScanRange aggregates values of keys in [lo, hi] matching pred.
+func (ix *Index) ScanRange(lo, hi uint64, pred Predicate) (ScanResult, error) {
+	return ix.db.engine.ScanRange(ix.id, lo, hi, pred)
+}
+
+// Rows materializes up to limit rows of [lo, hi] whose values match pred,
+// sorted by key. This is the building block for query processing on top of
+// the storage primitives (index-nested-loop joins and the like).
+func (ix *Index) Rows(lo, hi uint64, pred Predicate, limit int) ([]KV, error) {
+	return ix.db.engine.ScanRangeRows(ix.id, lo, hi, pred, limit)
+}
+
+// Column is a size-partitioned column object for full scans.
+type Column struct {
+	db   *DB
+	id   routing.ObjectID
+	name string
+}
+
+// CreateColumn declares a column object. Must be called before Start.
+func (db *DB) CreateColumn(name string) (*Column, error) {
+	id, err := db.newObject(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.engine.CreateColumn(id); err != nil {
+		delete(db.byName, name)
+		return nil, err
+	}
+	if db.alg != nil {
+		if err := db.engine.Watch(id, db.alg); err != nil {
+			return nil, err
+		}
+	}
+	return &Column{db: db, id: id, name: name}, nil
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// LoadUniform bulk-loads tuplesPerWorker values into every partition before
+// Start; valueOf nil generates deterministic pseudo-random values.
+func (c *Column) LoadUniform(tuplesPerWorker int64, valueOf func(worker int, i int64) uint64) error {
+	return c.db.engine.LoadColumnUniform(c.id, tuplesPerWorker, valueOf)
+}
+
+// Scan aggregates all values matching pred across every partition, using
+// multicast scan commands and scan sharing.
+func (c *Column) Scan(pred Predicate) (ScanResult, error) {
+	return c.db.engine.Scan(c.id, pred)
+}
+
+// Start launches the AEUs (and the balancer when enabled).
+func (db *DB) Start() error {
+	if err := db.engine.Start(); err != nil {
+		return err
+	}
+	db.started = true
+	return nil
+}
+
+// Close stops the engine; safe to call multiple times.
+func (db *DB) Close() error { return db.engine.Close() }
+
+// Stats summarizes engine activity.
+type Stats struct {
+	Workers    int
+	Operations int64
+	// VirtualSeconds is the slowest worker's simulated time.
+	VirtualSeconds float64
+}
+
+// Stats returns a snapshot of engine activity.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Workers:        db.engine.NumAEUs(),
+		Operations:     db.engine.TotalOps(),
+		VirtualSeconds: db.engine.MinClockSec(),
+	}
+}
+
+// Workers returns the AEU handles for advanced instrumentation.
+func (db *DB) Workers() []*aeu.AEU { return db.engine.AEUs() }

@@ -1,0 +1,151 @@
+package eris
+
+import (
+	"testing"
+)
+
+func TestOpenDefaults(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if got := db.Stats().Workers; got != 40 {
+		t.Fatalf("default machine workers = %d, want 40 (intel)", got)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(Options{Machine: "cray"}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if _, err := Open(Options{Balancer: "bogus"}); err == nil {
+		t.Error("unknown balancer accepted")
+	}
+	if _, err := Open(Options{Balancer: "ma0"}); err == nil {
+		t.Error("ma0 accepted")
+	}
+}
+
+func TestIndexLifecycle(t *testing.T) {
+	db, err := Open(Options{Machine: "single", Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	idx, err := db.CreateIndex("orders", 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("orders", 1<<16); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := idx.LoadDense(1000, func(k uint64) uint64 { return k * 10 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	kvs, err := idx.Lookup([]uint64{7, 999, 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 2 || kvs[0] != (KV{Key: 7, Value: 70}) {
+		t.Fatalf("lookup = %+v", kvs)
+	}
+
+	if err := idx.Upsert([]KV{{Key: 5000, Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err = idx.Lookup([]uint64{5000})
+	if err != nil || len(kvs) != 1 || kvs[0].Value != 1 {
+		t.Fatalf("after upsert: %+v, %v", kvs, err)
+	}
+
+	res, err := idx.ScanRange(0, 99, PredAll())
+	if err != nil || res.Matched != 100 {
+		t.Fatalf("scan range: %+v, %v", res, err)
+	}
+	rows, err := idx.Rows(5, 8, PredAll(), 10)
+	if err != nil || len(rows) != 4 || rows[0].Key != 5 || rows[0].Value != 50 {
+		t.Fatalf("rows: %+v, %v", rows, err)
+	}
+	if idx.Name() != "orders" || idx.Domain() != 1<<16 {
+		t.Fatalf("metadata: %s %d", idx.Name(), idx.Domain())
+	}
+	if s := db.Stats(); s.Operations == 0 || s.VirtualSeconds <= 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestColumnLifecycle(t *testing.T) {
+	db, err := Open(Options{Machine: "single", Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	col, err := db.CreateColumn("metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.LoadUniform(100, func(w int, i int64) uint64 { return uint64(i) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Start(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := col.Scan(PredLess(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != 40 { // 4 workers x values 0..9
+		t.Fatalf("scan matched %d", res.Matched)
+	}
+	if col.Name() != "metrics" {
+		t.Fatal("name")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	cases := []struct {
+		p    Predicate
+		v    uint64
+		want bool
+	}{
+		{PredAll(), 5, true},
+		{PredLess(5), 4, true},
+		{PredLess(5), 5, false},
+		{PredGreater(5), 6, true},
+		{PredEqual(5), 5, true},
+		{PredBetween(2, 4), 3, true},
+		{PredBetween(2, 4), 5, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Matches(c.v); got != c.want {
+			t.Errorf("%+v.Matches(%d) = %v", c.p, c.v, got)
+		}
+	}
+}
+
+func TestBalancerOption(t *testing.T) {
+	db, err := Open(Options{Machine: "single", Workers: 4, Balancer: "ma2", BalancerIntervalSec: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	idx, err := db.CreateIndex("t", 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.LoadDense(1<<14, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Smoke: engine with the balancer goroutine running serves lookups.
+	if _, err := idx.Lookup([]uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+}

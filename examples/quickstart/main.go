@@ -1,0 +1,66 @@
+// Quickstart: open an ERIS engine on the simulated 4-socket Intel machine,
+// create an index, load it, and run point lookups, upserts and a range
+// scan through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eris"
+)
+
+func main() {
+	db, err := eris.Open(eris.Options{Machine: "intel"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// DDL and bulk loading happen before Start: an index over the key
+	// domain [0, 1M), preloaded with 100k dense keys.
+	orders, err := db.CreateIndex("orders", 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := orders.LoadDense(100_000, func(k uint64) uint64 { return k * 100 }); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Point lookups route to the owning AEUs and return found pairs.
+	kvs, err := orders.Lookup([]uint64{42, 99_999, 500_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("lookup results:")
+	for _, kv := range kvs {
+		fmt.Printf("  key %6d -> value %d\n", kv.Key, kv.Value)
+	}
+
+	// Upserts insert new keys or overwrite existing values.
+	if err := orders.Upsert([]eris.KV{
+		{Key: 500_000, Value: 1},
+		{Key: 42, Value: 4242},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	kvs, _ = orders.Lookup([]uint64{42, 500_000})
+	fmt.Println("after upsert:")
+	for _, kv := range kvs {
+		fmt.Printf("  key %6d -> value %d\n", kv.Key, kv.Value)
+	}
+
+	// An index range scan aggregates over a key interval.
+	res, err := orders.ScanRange(0, 9_999, eris.PredGreater(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range scan [0, 9999]: %d values > 0, sum %d\n", res.Matched, res.Sum)
+
+	st := db.Stats()
+	fmt.Printf("engine: %d AEUs, %d storage operations, %.6f simulated seconds\n",
+		st.Workers, st.Operations, st.VirtualSeconds)
+}

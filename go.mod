@@ -1,0 +1,3 @@
+module eris
+
+go 1.23

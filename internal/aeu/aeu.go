@@ -1,0 +1,334 @@
+// Package aeu implements ERIS's Autonomous Execution Units (Section 3.1,
+// Figure 3). Each AEU is pinned to one core of the simulated machine and
+// exclusively owns one partition per data object, so partition data needs
+// no latches. The AEU loop mirrors the paper: (1) drain the incoming data
+// command buffer and group commands by data object and command type —
+// grouping coalesces scans into a single shared pass and turns lookup and
+// upsert streams into latency-hiding batches; (2) process the groups;
+// (3) handle pending balancing and transfer commands, growing or shrinking
+// the local partitions; then generate new commands (the benchmark workload
+// hook), flush the outgoing buffers and start over.
+package aeu
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"eris/internal/colstore"
+	"eris/internal/command"
+	"eris/internal/mem"
+	"eris/internal/numasim"
+	"eris/internal/prefixtree"
+	"eris/internal/routing"
+	"eris/internal/topology"
+)
+
+// ClientReply in a command's ReplyTo routes results to the engine's client
+// callback instead of another AEU.
+const ClientReply int32 = -2
+
+// Config tunes AEU behaviour.
+type Config struct {
+	// IdleLoopNS is the virtual cost of one empty loop iteration (buffer
+	// polling); it keeps idle cores' clocks advancing. Default 100.
+	IdleLoopNS float64
+	// SkewWindowNS bounds how far an AEU's virtual clock may run ahead of
+	// the slowest core before it yields. Default 20 ms.
+	SkewWindowNS float64
+	// SkewCheckEvery controls how often (in loop iterations) the skew
+	// check runs. Default 32.
+	SkewCheckEvery int
+	// NoCoalesce disables command grouping: every drained command is
+	// processed on its own (the coalescing ablation benchmark).
+	NoCoalesce bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.IdleLoopNS == 0 {
+		c.IdleLoopNS = 100
+	}
+	if c.SkewWindowNS == 0 {
+		c.SkewWindowNS = 20e6
+	}
+	if c.SkewCheckEvery == 0 {
+		c.SkewCheckEvery = 32
+	}
+	return c
+}
+
+// Partition is one AEU's share of a data object.
+type Partition struct {
+	Object routing.ObjectID
+	Kind   routing.TableKind
+	Tree   *prefixtree.Tree // range-partitioned index
+	Col    *colstore.Column // size-partitioned column
+
+	// Lo/Hi are the inclusive key bounds this AEU is responsible for
+	// (range objects). Only the owning AEU writes them.
+	Lo, Hi uint64
+
+	// Monitoring counters sampled by the load balancer.
+	accesses  atomic.Int64 // keys/commands touched in the current window
+	cmdTimePS atomic.Int64 // processing time in the current window
+	cmdCount  atomic.Int64
+}
+
+// RecordAccess bumps the partition's access-frequency counter; the AEU's
+// processing stages call it, and tests use it to shape monitor input.
+func (p *Partition) RecordAccess() { p.accesses.Add(1) }
+
+// TakeSample atomically reads and resets the monitoring window, returning
+// (accesses, mean command time in ps).
+func (p *Partition) TakeSample() (int64, float64) {
+	acc := p.accesses.Swap(0)
+	t := p.cmdTimePS.Swap(0)
+	n := p.cmdCount.Swap(0)
+	if n == 0 {
+		return acc, 0
+	}
+	return acc, float64(t) / float64(n)
+}
+
+// SizeTuples returns the partition's tuple count.
+func (p *Partition) SizeTuples() int64 {
+	if p.Kind == routing.RangePartitioned {
+		return p.Tree.Count()
+	}
+	return p.Col.Count()
+}
+
+// transfer is a partition payload in flight between two AEUs: either a
+// linkable extracted subtree / chunk run, or a flattened copy stream.
+type transfer struct {
+	obj   routing.ObjectID
+	epoch uint64
+	from  uint32
+	ex    *prefixtree.Extracted
+	kvs   []prefixtree.KV
+	det   *colstore.Detached
+	lo    uint64
+	hi    uint64
+}
+
+// pendingRange is a key range granted to this AEU whose data has not
+// arrived yet; commands touching it are deferred, not answered.
+type pendingRange struct {
+	lo, hi uint64
+	epoch  uint64
+}
+
+// Generator produces workload commands through the AEU's outbox. Generate
+// may route up to its internal batch of commands; it returns false when the
+// workload is exhausted (the AEU then only serves incoming commands).
+type Generator interface {
+	Generate(a *AEU) bool
+}
+
+// GeneratorFunc adapts a function to the Generator interface.
+type GeneratorFunc func(a *AEU) bool
+
+// Generate implements Generator.
+func (f GeneratorFunc) Generate(a *AEU) bool { return f(a) }
+
+// AEU is one worker of the engine.
+type AEU struct {
+	ID   uint32
+	Core topology.CoreID
+	Node topology.NodeID
+
+	router  *routing.Router
+	machine *numasim.Machine
+	mems    *mem.System
+	cfg     Config
+
+	sessions map[routing.ObjectID]*prefixtree.Session
+	parts    map[routing.ObjectID]*Partition
+	partList []*Partition
+
+	// Mailbox for partition transfers (the copy/link payload path).
+	mailMu  sync.Mutex
+	mail    []transfer
+	mailCnt atomic.Int32
+
+	// Balancing state.
+	pendingFetches map[uint64]int // epoch -> outstanding transfers
+	pendingRanges  []pendingRange
+	deferred       []command.Command
+	requeue        []command.Command
+	epochDone      func(aeu uint32, obj routing.ObjectID, epoch uint64)
+
+	// Workload.
+	Generator Generator
+	Rng       *rand.Rand
+	genDone   bool
+	skewed    bool
+
+	onClientResult func(tag uint64, from uint32, kvs []prefixtree.KV)
+
+	stop     atomic.Bool
+	timeline *Timeline
+	peers    []*AEU
+
+	// Per-loop grouping scratch.
+	groups  map[groupKey]*group
+	order   []groupKey
+	noCoSeq uint64 // distinct group keys when coalescing is disabled
+
+	// Stats.
+	opsDone     atomic.Int64
+	forwards    atomic.Int64
+	deferredCnt atomic.Int64
+	iterations  atomic.Int64
+}
+
+type groupKey struct {
+	obj     routing.ObjectID
+	op      command.Op
+	replyTo int32
+	tag     uint64
+	source  uint32
+}
+
+type group struct {
+	keys  []uint64
+	kvs   []prefixtree.KV
+	scans []command.Command
+}
+
+// New creates an AEU pinned to core id of the machine.
+func New(r *routing.Router, mems *mem.System, id uint32, cfg Config) *AEU {
+	machine := r.Machine()
+	core := topology.CoreID(id)
+	return &AEU{
+		ID:             id,
+		Core:           core,
+		Node:           machine.Topology().NodeOfCore(core),
+		router:         r,
+		machine:        machine,
+		mems:           mems,
+		cfg:            cfg.withDefaults(),
+		sessions:       make(map[routing.ObjectID]*prefixtree.Session),
+		parts:          make(map[routing.ObjectID]*Partition),
+		pendingFetches: make(map[uint64]int),
+		groups:         make(map[groupKey]*group),
+		Rng:            rand.New(rand.NewSource(int64(id)*7919 + 17)),
+	}
+}
+
+// Router returns the routing layer.
+func (a *AEU) Router() *routing.Router { return a.router }
+
+// Machine returns the simulated machine.
+func (a *AEU) Machine() *numasim.Machine { return a.machine }
+
+// Outbox returns this AEU's private outgoing buffers.
+func (a *AEU) Outbox() *routing.Outbox { return a.router.Outbox(a.ID) }
+
+// SetEpochDone installs the balancer's completion callback.
+func (a *AEU) SetEpochDone(fn func(aeu uint32, obj routing.ObjectID, epoch uint64)) {
+	a.epochDone = fn
+}
+
+// SetClientResult installs the engine's client result callback.
+func (a *AEU) SetClientResult(fn func(tag uint64, from uint32, kvs []prefixtree.KV)) {
+	a.onClientResult = fn
+}
+
+// SetTimeline installs a throughput timeline (Figure 13 measurements).
+func (a *AEU) SetTimeline(tl *Timeline) { a.timeline = tl }
+
+// AddIndexPartition attaches a range-partitioned index partition backed by
+// the store of this AEU's node. Must be called before Run.
+func (a *AEU) AddIndexPartition(obj routing.ObjectID, store *prefixtree.Store, lo, hi uint64) (*Partition, error) {
+	if _, dup := a.parts[obj]; dup {
+		return nil, fmt.Errorf("aeu %d: object %d already attached", a.ID, obj)
+	}
+	sess := store.NewSession()
+	a.sessions[obj] = sess
+	p := &Partition{
+		Object: obj,
+		Kind:   routing.RangePartitioned,
+		Tree:   prefixtree.NewTree(sess),
+		Lo:     lo,
+		Hi:     hi,
+	}
+	a.parts[obj] = p
+	a.partList = append(a.partList, p)
+	return p, nil
+}
+
+// AddColumnPartition attaches a size-partitioned column partition allocated
+// on this AEU's node.
+func (a *AEU) AddColumnPartition(obj routing.ObjectID, cfg colstore.Config) (*Partition, error) {
+	if _, dup := a.parts[obj]; dup {
+		return nil, fmt.Errorf("aeu %d: object %d already attached", a.ID, obj)
+	}
+	p := &Partition{
+		Object: obj,
+		Kind:   routing.SizePartitioned,
+		Col:    colstore.NewLocal(a.machine, cfg, a.mems.Node(a.Node)),
+	}
+	a.parts[obj] = p
+	a.partList = append(a.partList, p)
+	return p, nil
+}
+
+// Partition returns the local partition of obj, or nil.
+func (a *AEU) Partition(obj routing.ObjectID) *Partition { return a.parts[obj] }
+
+// Session returns this AEU's node-local allocation session for obj's store.
+func (a *AEU) Session(obj routing.ObjectID) *prefixtree.Session { return a.sessions[obj] }
+
+// Stop asks the AEU loop to exit after the current iteration.
+func (a *AEU) Stop() { a.stop.Store(true) }
+
+// Stopped reports whether Stop was called.
+func (a *AEU) Stopped() bool { return a.stop.Load() }
+
+// deliverTransfer places a partition payload into the mailbox; called by
+// the sending AEU.
+func (a *AEU) deliverTransfer(t transfer) {
+	a.mailMu.Lock()
+	a.mail = append(a.mail, t)
+	a.mailMu.Unlock()
+	a.mailCnt.Add(1)
+}
+
+// Stats snapshots AEU counters.
+type Stats struct {
+	Ops        int64
+	Forwards   int64
+	Deferred   int64
+	Iterations int64
+}
+
+// Stats returns a snapshot of the AEU's counters.
+func (a *AEU) Stats() Stats {
+	return Stats{
+		Ops:        a.opsDone.Load(),
+		Forwards:   a.forwards.Load(),
+		Deferred:   a.deferredCnt.Load(),
+		Iterations: a.iterations.Load(),
+	}
+}
+
+// ClockNS returns this AEU's virtual time in nanoseconds.
+func (a *AEU) ClockNS() float64 { return a.machine.ClockNS(a.Core) }
+
+// ClockSec returns this AEU's virtual time in seconds.
+func (a *AEU) ClockSec() float64 { return a.ClockNS() / 1e9 }
+
+// CountOps records externally executed storage operations (generator-driven
+// benchmark work) in the AEU's throughput accounting.
+func (a *AEU) CountOps(n int64) { a.countOps(n) }
+
+// countOps records completed storage operations for throughput accounting.
+func (a *AEU) countOps(n int64) {
+	a.machine.CountOps(a.Core, n)
+	a.opsDone.Add(n)
+	if a.timeline != nil {
+		a.timeline.Record(a.ClockNS(), n)
+	}
+}

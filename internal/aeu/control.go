@@ -1,0 +1,206 @@
+package aeu
+
+import (
+	"fmt"
+
+	"eris/internal/command"
+	"eris/internal/routing"
+	"eris/internal/topology"
+)
+
+// handleBalance applies a balancing command: adopt the new partition
+// bounds, then request the missing data from the source AEUs (Section
+// 3.3.2). The routing tables were already updated by the balancer; until
+// the fetched data arrives, commands for the granted ranges are deferred.
+func (a *AEU) handleBalance(c command.Command) {
+	b := c.Balance
+	if b == nil {
+		panic("aeu: balance command without payload")
+	}
+	obj := routing.ObjectID(c.Object)
+	p := a.parts[obj]
+	if p == nil {
+		panic(fmt.Sprintf("aeu %d: balance for unknown object %d", a.ID, c.Object))
+	}
+	if p.Kind == routing.RangePartitioned {
+		p.Lo, p.Hi = b.NewLo, b.NewHi
+	}
+	if len(b.Fetches) == 0 {
+		a.ackEpoch(obj, b.Epoch)
+		return
+	}
+	a.pendingFetches[b.Epoch] += len(b.Fetches)
+	for _, f := range b.Fetches {
+		if p.Kind == routing.RangePartitioned {
+			a.pendingRanges = append(a.pendingRanges, pendingRange{lo: f.Lo, hi: f.Hi, epoch: b.Epoch})
+		}
+		fetch := f
+		cmd := command.Command{
+			Op: command.OpFetch, Object: c.Object, Source: a.ID,
+			ReplyTo: command.NoReply, Tag: b.Epoch, Fetch: &fetch,
+		}
+		a.Outbox().Send(f.From, &cmd)
+	}
+}
+
+// handleFetch serves a fetch: extract the requested part of the local
+// partition and ship it to the requester, choosing the cheap link
+// mechanism when both AEUs share a node and the flatten/copy mechanism
+// otherwise (Figure 7).
+func (a *AEU) handleFetch(c command.Command) {
+	f := c.Fetch
+	if f == nil {
+		panic("aeu: fetch command without payload")
+	}
+	obj := routing.ObjectID(c.Object)
+	p := a.parts[obj]
+	if p == nil {
+		panic(fmt.Sprintf("aeu %d: fetch for unknown object %d", a.ID, c.Object))
+	}
+	if p.Kind == routing.RangePartitioned && a.overlapsPending(f.Lo, f.Hi) {
+		// Part of the requested range is itself still in flight to this
+		// AEU (back-to-back balancing cycles): defer the fetch until the
+		// inbound transfer lands, otherwise the keys would be skipped.
+		a.deferred = append(a.deferred, c)
+		a.deferredCnt.Add(1)
+		return
+	}
+	requester := c.Source
+	target := a.peer(requester)
+	sameNode := target.Node == a.Node
+
+	t := transfer{obj: obj, epoch: c.Tag, from: a.ID, lo: f.Lo, hi: f.Hi}
+	if p.Kind == routing.SizePartitioned {
+		t.det = p.Col.DetachTail(a.Core, f.Tuples)
+	} else {
+		ex := p.Tree.ExtractRange(a.Core, f.Lo, f.Hi)
+		if sameNode {
+			t.ex = ex
+		} else {
+			// Cross-node: flatten to the exchange format, stream it over,
+			// free the source nodes.
+			t.kvs = ex.Flatten(a.Core)
+			ex.Discard(a.Core, a.sessions[obj])
+		}
+	}
+	target.deliverTransfer(t)
+}
+
+// receiveTransfers drains the transfer mailbox, linking or copying the
+// payloads into the local partitions and releasing deferred commands once
+// an epoch completes.
+func (a *AEU) receiveTransfers() {
+	a.mailMu.Lock()
+	incoming := a.mail
+	a.mail = nil
+	a.mailMu.Unlock()
+	a.mailCnt.Add(int32(-len(incoming)))
+
+	for _, t := range incoming {
+		p := a.parts[t.obj]
+		if p == nil {
+			panic(fmt.Sprintf("aeu %d: transfer for unknown object %d", a.ID, t.obj))
+		}
+		switch {
+		case t.ex != nil:
+			p.Tree.Link(a.Core, t.ex)
+		case t.kvs != nil:
+			p.Tree.RebuildFrom(a.Core, t.kvs)
+		case t.det != nil:
+			if err := p.Col.LinkDetached(a.Core, a.Node, t.det); err != nil {
+				// Chunks live on another node: copy them over.
+				p.Col.CopyDetached(a.Core, t.det, a.mems.Free)
+			}
+		}
+		a.completeFetch(t.obj, t.epoch)
+	}
+}
+
+// completeFetch decrements the epoch's outstanding transfer count, clears
+// satisfied pending ranges and requeues deferred commands.
+func (a *AEU) completeFetch(obj routing.ObjectID, epoch uint64) {
+	n, ok := a.pendingFetches[epoch]
+	if !ok {
+		return
+	}
+	n--
+	if n > 0 {
+		a.pendingFetches[epoch] = n
+		return
+	}
+	delete(a.pendingFetches, epoch)
+	// Drop this epoch's pending ranges.
+	kept := a.pendingRanges[:0]
+	for _, r := range a.pendingRanges {
+		if r.epoch != epoch {
+			kept = append(kept, r)
+		}
+	}
+	a.pendingRanges = kept
+	// Release deferred commands for reprocessing.
+	if len(a.deferred) > 0 {
+		a.requeue = append(a.requeue, a.deferred...)
+		a.deferred = a.deferred[:0]
+	}
+	a.ackEpoch(obj, epoch)
+}
+
+// overlapsPending reports whether [lo, hi] intersects a range whose data
+// has not arrived yet.
+func (a *AEU) overlapsPending(lo, hi uint64) bool {
+	for _, r := range a.pendingRanges {
+		if lo <= r.hi && hi >= r.lo {
+			return true
+		}
+	}
+	return false
+}
+
+// Settle runs one synchronous loop iteration without workload generation:
+// drain the inbox, process what arrived, absorb transfers, flush. The
+// engine calls it in rounds after the AEU goroutines exited, so that
+// balancing commands and partition payloads still in flight at shutdown
+// are applied instead of lost. It reports whether any work was done.
+func (a *AEU) Settle() bool {
+	busy := false
+	if a.router.Drain(a.ID, a.classify) > 0 {
+		busy = true
+	}
+	if len(a.requeue) > 0 {
+		for _, c := range a.requeue {
+			a.classify(c)
+		}
+		a.requeue = a.requeue[:0]
+		busy = true
+	}
+	if len(a.order) > 0 {
+		a.processGroups()
+		busy = true
+	}
+	if a.mailCnt.Load() > 0 {
+		a.receiveTransfers()
+		busy = true
+	}
+	a.Outbox().Flush()
+	return busy
+}
+
+func (a *AEU) ackEpoch(obj routing.ObjectID, epoch uint64) {
+	if a.epochDone != nil {
+		a.epochDone(a.ID, obj, epoch)
+	}
+}
+
+// RegisterPeers wires the AEU set of one engine so fetch handlers can
+// address their transfer targets. It must be called once after all AEUs
+// are created and before Run.
+func RegisterPeers(aeus []*AEU) {
+	for _, a := range aeus {
+		a.peers = aeus
+	}
+}
+
+func (a *AEU) peer(id uint32) *AEU { return a.peers[id] }
+
+// CoreOf returns the core an AEU index is pinned to (AEU i == core i).
+func CoreOf(id uint32) topology.CoreID { return topology.CoreID(id) }

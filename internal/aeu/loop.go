@@ -1,0 +1,399 @@
+package aeu
+
+import (
+	"runtime"
+
+	"eris/internal/command"
+	"eris/internal/prefixtree"
+	"eris/internal/routing"
+	"eris/internal/topology"
+)
+
+// loop cost constants (virtual nanoseconds).
+const (
+	groupNSPerCommand = 2   // hash-grouping one drained command
+	scanShareNSPerCmd = 5   // registering one scan in a shared pass
+	forwardNSPerKey   = 0.5 // validity check + re-route handoff
+)
+
+// Run executes the AEU loop until Stop is called. It is the goroutine body
+// the engine spawns per worker.
+func (a *AEU) Run() {
+	iter := 0
+	for !a.stop.Load() {
+		iter++
+		a.iterations.Add(1)
+		busy := false
+
+		// Stage 1+2: drain the incoming buffer, group commands by data
+		// object and type, then process the groups.
+		drained := a.router.Drain(a.ID, a.classify)
+		for _, c := range a.requeue {
+			a.classify(c)
+		}
+		a.requeue = a.requeue[:0]
+		if drained > 0 {
+			a.machine.AdvanceNS(a.Core, groupNSPerCommand*float64(drained))
+			busy = true
+		}
+		if len(a.order) > 0 {
+			a.processGroups()
+			busy = true
+		}
+
+		// Stage 3: balancing and transfer commands.
+		if a.mailCnt.Load() > 0 {
+			a.receiveTransfers()
+			busy = true
+		}
+
+		// Workload generation. An AEU whose virtual clock ran far ahead of
+		// the slowest core pauses generation (but keeps serving incoming
+		// commands): this bounds virtual-time skew without ever blocking
+		// the processing stage, which peers may be waiting on.
+		if a.Generator != nil && !a.genDone {
+			if iter%a.cfg.SkewCheckEvery == 0 {
+				a.updateSkew()
+			}
+			if !a.skewed {
+				if !a.Generator.Generate(a) {
+					a.genDone = true
+				}
+				busy = true
+			}
+		}
+
+		a.Outbox().Flush()
+
+		if !busy {
+			// An idle AEU polls its buffers at full speed, but its virtual
+			// clock must not race ahead of the workers that still have
+			// work: advance only while this core is (close to) the
+			// slowest, so idle time tracks busy time instead of the real
+			// scheduler's whims.
+			min := a.machine.MinClock(0, topology.CoreID(a.router.NumAEUs()))
+			if a.machine.Clock(a.Core) <= min+int64(a.cfg.IdleLoopNS*1000) {
+				a.machine.AdvanceNS(a.Core, a.cfg.IdleLoopNS)
+			}
+			runtime.Gosched()
+		}
+	}
+	a.Outbox().Flush()
+}
+
+// updateSkew refreshes the generation gate: true while this AEU's virtual
+// clock is more than the skew window ahead of the slowest core.
+func (a *AEU) updateSkew() {
+	last := topology.CoreID(a.router.NumAEUs())
+	windowPS := int64(a.cfg.SkewWindowNS * 1000)
+	min := a.machine.MinClock(0, last)
+	a.skewed = a.machine.Clock(a.Core)-min > windowPS
+}
+
+// classify sorts one drained command into the per-(object, type) groups or
+// the control queues; this is the paper's command-grouping stage.
+func (a *AEU) classify(c command.Command) {
+	switch c.Op {
+	case command.OpLookup, command.OpUpsert:
+		k := groupKey{obj: routing.ObjectID(c.Object), op: c.Op, replyTo: c.ReplyTo, tag: c.Tag, source: c.Source}
+		if c.ReplyTo == command.NoReply {
+			// Results are consumed locally: commands from all sources can
+			// share one batch.
+			k.tag, k.source = 0, 0
+		}
+		if a.cfg.NoCoalesce {
+			a.noCoSeq++
+			k.tag = a.noCoSeq
+		}
+		g := a.groups[k]
+		if g == nil {
+			g = &group{}
+			a.groups[k] = g
+			a.order = append(a.order, k)
+		}
+		g.keys = append(g.keys, c.Keys...)
+		g.kvs = append(g.kvs, c.KVs...)
+	case command.OpScan:
+		k := groupKey{obj: routing.ObjectID(c.Object), op: c.Op}
+		g := a.groups[k]
+		if g == nil {
+			g = &group{}
+			a.groups[k] = g
+			a.order = append(a.order, k)
+		}
+		g.scans = append(g.scans, c)
+	case command.OpResult:
+		a.handleResult(c)
+	case command.OpBalance:
+		a.handleBalance(c)
+	case command.OpFetch:
+		a.handleFetch(c)
+	default:
+		panic("aeu: unexpected command op " + c.Op.String())
+	}
+}
+
+// processGroups executes all grouped commands; this is the most time
+// consuming part of the loop.
+func (a *AEU) processGroups() {
+	for _, k := range a.order {
+		g := a.groups[k]
+		p := a.parts[k.obj]
+		if p == nil {
+			// The AEU holds no partition of this object (e.g. freshly
+			// rebalanced away); forward everything.
+			a.forwardGroup(k, g)
+			delete(a.groups, k)
+			continue
+		}
+		start := a.machine.Clock(a.Core)
+		switch k.op {
+		case command.OpLookup:
+			a.processLookups(k, g, p)
+		case command.OpUpsert:
+			a.processUpserts(k, g, p)
+		case command.OpScan:
+			a.processScans(g, p)
+		}
+		elapsed := a.machine.Clock(a.Core) - start
+		p.cmdTimePS.Add(elapsed)
+		p.cmdCount.Add(1)
+		delete(a.groups, k)
+	}
+	a.order = a.order[:0]
+}
+
+// splitValid partitions keys into in-range, pending and foreign sets using
+// the partition bounds and the pending transfer ranges.
+func (a *AEU) splitValid(p *Partition, keys []uint64, valid *[]uint64, deferredIdx *[]int, foreign *[]uint64) {
+	for i, key := range keys {
+		switch {
+		case key < p.Lo || key > p.Hi:
+			*foreign = append(*foreign, key)
+		case a.inPendingRange(key):
+			*deferredIdx = append(*deferredIdx, i)
+		default:
+			*valid = append(*valid, key)
+		}
+	}
+}
+
+func (a *AEU) inPendingRange(key uint64) bool {
+	for _, r := range a.pendingRanges {
+		if key >= r.lo && key <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *AEU) processLookups(k groupKey, g *group, p *Partition) {
+	var valid, foreign []uint64
+	var deferredIdx []int
+	a.splitValid(p, g.keys, &valid, &deferredIdx, &foreign)
+
+	if len(foreign) > 0 {
+		// Invalid commands (stale routing): re-route to the new owner.
+		a.machine.AdvanceNS(a.Core, forwardNSPerKey*float64(len(foreign)))
+		a.Outbox().RouteLookup(k.obj, foreign, k.replyTo, k.tag)
+		a.forwards.Add(int64(len(foreign)))
+	}
+	if len(deferredIdx) > 0 {
+		keys := make([]uint64, len(deferredIdx))
+		for i, idx := range deferredIdx {
+			keys[i] = g.keys[idx]
+		}
+		a.deferred = append(a.deferred, command.Command{
+			Op: command.OpLookup, Object: uint32(k.obj), Source: k.source,
+			ReplyTo: k.replyTo, Tag: k.tag, Keys: keys,
+		})
+		a.deferredCnt.Add(int64(len(keys)))
+	}
+	if len(valid) == 0 {
+		return
+	}
+
+	values := make([]uint64, len(valid))
+	found := make([]bool, len(valid))
+	p.Tree.LookupBatch(a.Core, valid, values, found)
+	p.accesses.Add(int64(len(valid)))
+	a.countOps(int64(len(valid)))
+
+	if k.replyTo == command.NoReply {
+		return
+	}
+	kvs := make([]prefixtree.KV, 0, len(valid))
+	for i := range valid {
+		if found[i] {
+			kvs = append(kvs, prefixtree.KV{Key: valid[i], Value: values[i]})
+		}
+	}
+	a.reply(k, kvs)
+}
+
+func (a *AEU) processUpserts(k groupKey, g *group, p *Partition) {
+	var validKVs []prefixtree.KV
+	var foreign []prefixtree.KV
+	var pend []prefixtree.KV
+	for _, kv := range g.kvs {
+		switch {
+		case kv.Key < p.Lo || kv.Key > p.Hi:
+			foreign = append(foreign, kv)
+		case a.inPendingRange(kv.Key):
+			pend = append(pend, kv)
+		default:
+			validKVs = append(validKVs, kv)
+		}
+	}
+	if len(foreign) > 0 {
+		a.machine.AdvanceNS(a.Core, forwardNSPerKey*float64(len(foreign)))
+		a.Outbox().RouteUpsert(k.obj, foreign, k.replyTo, k.tag)
+		a.forwards.Add(int64(len(foreign)))
+	}
+	if len(pend) > 0 {
+		a.deferred = append(a.deferred, command.Command{
+			Op: command.OpUpsert, Object: uint32(k.obj), Source: k.source,
+			ReplyTo: k.replyTo, Tag: k.tag, KVs: pend,
+		})
+		a.deferredCnt.Add(int64(len(pend)))
+	}
+	if len(validKVs) == 0 {
+		return
+	}
+	p.Tree.UpsertBatch(a.Core, validKVs)
+	p.accesses.Add(int64(len(validKVs)))
+	a.countOps(int64(len(validKVs)))
+	if k.replyTo != command.NoReply {
+		a.reply(k, nil) // upsert ack without payload
+	}
+}
+
+// processScans executes all scan commands of one object with a single data
+// pass (scan sharing); isolation comes from the column's MVCC snapshot.
+func (a *AEU) processScans(g *group, p *Partition) {
+	a.machine.AdvanceNS(a.Core, scanShareNSPerCmd*float64(len(g.scans)))
+	if p.Kind == routing.SizePartitioned {
+		a.processColumnScans(g, p)
+	} else {
+		a.processIndexScans(g, p)
+	}
+}
+
+func (a *AEU) processColumnScans(g *group, p *Partition) {
+	snapshot := p.Col.Snapshot()
+	type agg struct{ matched, sum uint64 }
+	aggs := make([]agg, len(g.scans))
+	p.Col.Scan(a.Core, snapshot, func(values []uint64) {
+		for _, v := range values {
+			for i := range g.scans {
+				if g.scans[i].Pred.Matches(v) {
+					aggs[i].matched++
+					aggs[i].sum += v
+				}
+			}
+		}
+	})
+	p.accesses.Add(int64(len(g.scans)))
+	a.countOps(int64(len(g.scans)))
+	for i, c := range g.scans {
+		if c.ReplyTo == command.NoReply {
+			continue
+		}
+		a.reply(groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source},
+			[]prefixtree.KV{{Key: aggs[i].matched, Value: aggs[i].sum}})
+	}
+}
+
+func (a *AEU) processIndexScans(g *group, p *Partition) {
+	for _, c := range g.scans {
+		lo, hi := p.Lo, p.Hi
+		if len(c.Keys) == 2 {
+			if c.Keys[0] > lo {
+				lo = c.Keys[0]
+			}
+			if c.Keys[1] < hi {
+				hi = c.Keys[1]
+			}
+		}
+		if c.Limit > 0 {
+			// Rows mode: materialize up to Limit matching pairs and route
+			// them back as an intermediate result.
+			var rows []prefixtree.KV
+			if lo <= hi {
+				p.Tree.Scan(a.Core, lo, hi, func(key, value uint64) bool {
+					if c.Pred.Matches(value) {
+						rows = append(rows, prefixtree.KV{Key: key, Value: value})
+					}
+					return len(rows) < int(c.Limit)
+				})
+			}
+			p.accesses.Add(1)
+			a.countOps(1)
+			if c.ReplyTo != command.NoReply {
+				a.reply(groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source}, rows)
+			}
+			continue
+		}
+		var matched, sum uint64
+		if lo <= hi {
+			p.Tree.Scan(a.Core, lo, hi, func(key, value uint64) bool {
+				if c.Pred.Matches(value) {
+					matched++
+					sum += value
+				}
+				return true
+			})
+		}
+		p.accesses.Add(1)
+		a.countOps(1)
+		if c.ReplyTo != command.NoReply {
+			a.reply(groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source},
+				[]prefixtree.KV{{Key: matched, Value: sum}})
+		}
+	}
+}
+
+// forwardGroup re-routes a whole group for an object this AEU no longer
+// holds.
+func (a *AEU) forwardGroup(k groupKey, g *group) {
+	switch k.op {
+	case command.OpLookup:
+		if len(g.keys) > 0 {
+			a.Outbox().RouteLookup(k.obj, g.keys, k.replyTo, k.tag)
+			a.forwards.Add(int64(len(g.keys)))
+		}
+	case command.OpUpsert:
+		if len(g.kvs) > 0 {
+			a.Outbox().RouteUpsert(k.obj, g.kvs, k.replyTo, k.tag)
+			a.forwards.Add(int64(len(g.kvs)))
+		}
+	case command.OpScan:
+		// A scan reaching a non-holder is dropped: the multicast bitmap
+		// was stale, and the new holder set received the same scan.
+		a.forwards.Add(int64(len(g.scans)))
+	}
+}
+
+// reply routes a result to the requester or the engine's client callback.
+func (a *AEU) reply(k groupKey, kvs []prefixtree.KV) {
+	if k.replyTo == ClientReply {
+		if a.onClientResult != nil {
+			a.onClientResult(k.tag, a.ID, kvs)
+		}
+		return
+	}
+	cmd := command.Command{
+		Op: command.OpResult, Object: uint32(k.obj), Source: a.ID,
+		ReplyTo: command.NoReply, Tag: k.tag, KVs: kvs,
+	}
+	a.Outbox().Send(uint32(k.replyTo), &cmd)
+}
+
+// handleResult surfaces routed results to the result callback; AEU-level
+// query processing (joins etc.) sits above the storage engine, so results
+// arriving here are for the engine client.
+func (a *AEU) handleResult(c command.Command) {
+	if a.onClientResult != nil {
+		a.onClientResult(c.Tag, c.Source, c.KVs)
+	}
+}

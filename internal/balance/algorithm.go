@@ -1,0 +1,188 @@
+// Package balance implements ERIS's NUMA-aware load balancer (Section 3.3):
+// a monitor that samples per-partition metrics (access frequency for
+// range-partitioned objects, physical size for scan-only objects), an
+// imbalance detector triggering on the relative standard deviation across
+// AEUs, the configurable balancing algorithm family of Figure 6 (One-Shot
+// and Moving-Average with a tunable window), and a planner that turns the
+// target partitioning into per-AEU balancing commands with fetch
+// instructions (Figure 7); the AEUs themselves pick link or copy transfer
+// by node locality.
+package balance
+
+import (
+	"fmt"
+	"math"
+)
+
+// Algorithm computes per-partition target loads from measured loads; the
+// planner then moves partition boundaries so each partition's expected load
+// matches its target. Implementations must preserve the total load.
+type Algorithm interface {
+	// Targets returns the target load for each partition. len(out) ==
+	// len(loads) and sum(out) == sum(loads) (up to rounding).
+	Targets(loads []float64) []float64
+	// Name labels the configuration in reports ("One-Shot", "MA1", ...).
+	Name() string
+}
+
+// OneShot fully equalizes the load in a single cycle: the most aggressive
+// and most expensive configuration, suited to workloads that change rarely
+// but heavily.
+type OneShot struct{}
+
+// Targets implements Algorithm.
+func (OneShot) Targets(loads []float64) []float64 {
+	out := make([]float64, len(loads))
+	var sum float64
+	for _, l := range loads {
+		sum += l
+	}
+	avg := sum / float64(len(loads))
+	for i := range out {
+		out[i] = avg
+	}
+	return out
+}
+
+// Name implements Algorithm.
+func (OneShot) Name() string { return "One-Shot" }
+
+// MovingAverage smooths each partition's load with its w neighbors on each
+// side; it adapts more slowly than One-Shot but moves far less data per
+// cycle, suiting highly dynamic workloads. MA with w >= len(loads)-1
+// degenerates to One-Shot, as the paper notes for MA7 on 8 partitions.
+type MovingAverage struct {
+	Window int
+}
+
+// Targets implements Algorithm.
+func (m MovingAverage) Targets(loads []float64) []float64 {
+	n := len(loads)
+	out := make([]float64, n)
+	w := m.Window
+	if w < 1 {
+		w = 1
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		lo, hi := i-w, i+w
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		var sum float64
+		for j := lo; j <= hi; j++ {
+			sum += loads[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+		total += out[i]
+	}
+	// Clipping at the edges biases the sum; rescale to preserve total load
+	// so the boundary equalization stays well-defined.
+	var orig float64
+	for _, l := range loads {
+		orig += l
+	}
+	if total > 0 {
+		scale := orig / total
+		for i := range out {
+			out[i] *= scale
+		}
+	}
+	return out
+}
+
+// Name implements Algorithm.
+func (m MovingAverage) Name() string { return fmt.Sprintf("MA%d", m.Window) }
+
+// Imbalance returns the relative standard deviation (stddev/mean) of the
+// loads; the balancer triggers when it exceeds the configured threshold.
+// A zero mean reports zero imbalance.
+func Imbalance(loads []float64) float64 {
+	n := float64(len(loads))
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range loads {
+		sum += l
+	}
+	mean := sum / n
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, l := range loads {
+		d := l - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/n) / mean
+}
+
+// Rebound computes new partition boundaries so that, assuming load is
+// uniformly distributed inside each current partition, partition i's new
+// range carries targets[i] load. bounds has len(loads)+1 entries: bounds[0]
+// is the domain low, bounds[len] the exclusive domain high. The returned
+// boundaries are strictly increasing and preserve the outer bounds.
+func Rebound(bounds []uint64, loads, targets []float64) ([]uint64, error) {
+	n := len(loads)
+	if len(bounds) != n+1 {
+		return nil, fmt.Errorf("balance: %d bounds for %d partitions", len(bounds), n)
+	}
+	if len(targets) != n {
+		return nil, fmt.Errorf("balance: %d targets for %d partitions", len(targets), n)
+	}
+	var total float64
+	for _, l := range loads {
+		if l < 0 {
+			return nil, fmt.Errorf("balance: negative load %f", l)
+		}
+		total += l
+	}
+	out := make([]uint64, n+1)
+	out[0], out[n] = bounds[0], bounds[n]
+	if total == 0 {
+		copy(out, bounds)
+		return out, nil
+	}
+
+	// Walk the cumulative load along the key axis; place boundary i where
+	// the cumulative load reaches sum(targets[:i]).
+	cum := 0.0   // load mass of fully consumed partitions [0, seg)
+	seg := 0     // current source partition
+	inSeg := 0.0 // load consumed inside partition seg
+	want := 0.0  // cumulative target
+	for i := 1; i < n; i++ {
+		want += targets[i-1]
+		// Advance segments until the want mass falls inside seg.
+		for seg < n-1 && cum+loads[seg] < want-1e-9 {
+			cum += loads[seg]
+			inSeg = 0
+			seg++
+		}
+		need := want - cum - inSeg
+		segWidth := float64(bounds[seg+1] - bounds[seg])
+		var frac float64
+		if loads[seg] > 0 {
+			frac = (inSeg + need) / loads[seg]
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		pos := float64(bounds[seg]) + frac*segWidth
+		b := uint64(pos)
+		// Enforce strict monotonicity and stay inside the domain.
+		if b <= out[i-1] {
+			b = out[i-1] + 1
+		}
+		maxB := out[n] - uint64(n-i)
+		if b > maxB {
+			b = maxB
+		}
+		out[i] = b
+		inSeg += need
+	}
+	return out, nil
+}

@@ -1,0 +1,220 @@
+package balance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestOneShotTargets(t *testing.T) {
+	got := OneShot{}.Targets([]float64{0, 0, 4, 4, 4, 4, 0, 0})
+	for _, v := range got {
+		if v != 2 {
+			t.Fatalf("targets = %v", got)
+		}
+	}
+	if (OneShot{}).Name() != "One-Shot" {
+		t.Error("name")
+	}
+}
+
+func TestMovingAverageSmoothing(t *testing.T) {
+	loads := []float64{0, 0, 4, 4, 4, 4, 0, 0} // Figure 6's skew
+	ma1 := MovingAverage{Window: 1}.Targets(loads)
+	// MA1 must smooth toward the neighbors but not equalize.
+	if !(ma1[2] > ma1[1] && ma1[1] > 0) {
+		t.Fatalf("ma1 = %v", ma1)
+	}
+	if almostEqual(ma1[0], ma1[3], 1e-9) {
+		t.Fatalf("ma1 over-equalized: %v", ma1)
+	}
+	// Total load preserved.
+	var sum float64
+	for _, v := range ma1 {
+		sum += v
+	}
+	if !almostEqual(sum, 16, 1e-9) {
+		t.Fatalf("ma1 sum = %f", sum)
+	}
+}
+
+func TestMAWideWindowEqualsOneShot(t *testing.T) {
+	// The paper: MA7 on 8 partitions computes the full average.
+	loads := []float64{0, 0, 4, 4, 4, 4, 0, 0}
+	ma7 := MovingAverage{Window: 7}.Targets(loads)
+	os := OneShot{}.Targets(loads)
+	for i := range os {
+		if !almostEqual(ma7[i], os[i], 1e-9) {
+			t.Fatalf("MA7 %v != One-Shot %v", ma7, os)
+		}
+	}
+}
+
+func TestTargetsConservationProperty(t *testing.T) {
+	check := func(raw []uint16, w8 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		loads := make([]float64, len(raw))
+		var sum float64
+		for i, r := range raw {
+			loads[i] = float64(r)
+			sum += loads[i]
+		}
+		w := int(w8%8) + 1
+		for _, alg := range []Algorithm{OneShot{}, MovingAverage{Window: w}} {
+			targets := alg.Targets(loads)
+			if len(targets) != len(loads) {
+				return false
+			}
+			var tsum float64
+			for _, v := range targets {
+				if v < 0 {
+					return false
+				}
+				tsum += v
+			}
+			if !almostEqual(tsum, sum, 1e-6*(sum+1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]float64{1, 1, 1, 1}); got != 0 {
+		t.Errorf("uniform imbalance = %f", got)
+	}
+	if got := Imbalance(nil); got != 0 {
+		t.Errorf("empty imbalance = %f", got)
+	}
+	if got := Imbalance([]float64{0, 0, 0}); got != 0 {
+		t.Errorf("zero imbalance = %f", got)
+	}
+	// Figure 6's skew: mean 2, stddev 2 -> relative 1.
+	if got := Imbalance([]float64{0, 0, 4, 4, 4, 4, 0, 0}); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("skewed imbalance = %f", got)
+	}
+}
+
+func TestReboundEqualizesFigure6(t *testing.T) {
+	// 8 partitions over [0, 800); load concentrated in partitions 2..5.
+	bounds := []uint64{0, 100, 200, 300, 400, 500, 600, 700, 800}
+	loads := []float64{0, 0, 4, 4, 4, 4, 0, 0}
+	targets := OneShot{}.Targets(loads)
+	nb, err := Rebound(bounds, loads, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb[0] != 0 || nb[8] != 800 {
+		t.Fatalf("outer bounds moved: %v", nb)
+	}
+	// Each new partition must carry 2 units of load; the hot region
+	// [200,600) carries 16 units uniformly (0.04/key), so interior
+	// boundaries should divide it into 50-key slices.
+	want := []uint64{0, 250, 300, 350, 400, 450, 500, 550, 800}
+	for i, b := range nb {
+		if b != want[i] {
+			t.Fatalf("bounds = %v, want %v", nb, want)
+		}
+	}
+}
+
+func TestReboundNoLoadNoChange(t *testing.T) {
+	bounds := []uint64{0, 10, 20, 30}
+	nb, err := Rebound(bounds, []float64{0, 0, 0}, []float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bounds {
+		if nb[i] != bounds[i] {
+			t.Fatalf("bounds changed: %v", nb)
+		}
+	}
+}
+
+func TestReboundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	check := func(nRaw uint8, wRaw uint8) bool {
+		n := int(nRaw%12) + 2
+		domain := uint64(n) * 1000
+		bounds := make([]uint64, n+1)
+		for i := range bounds {
+			bounds[i] = uint64(i) * 1000
+		}
+		bounds[n] = domain
+		loads := make([]float64, n)
+		for i := range loads {
+			loads[i] = float64(rng.Intn(100))
+		}
+		var alg Algorithm = OneShot{}
+		if wRaw%2 == 0 {
+			alg = MovingAverage{Window: int(wRaw%4) + 1}
+		}
+		nb, err := Rebound(bounds, loads, alg.Targets(loads))
+		if err != nil {
+			return false
+		}
+		// Invariants: outer bounds fixed, strictly increasing, inside domain.
+		if nb[0] != 0 || nb[n] != domain {
+			return false
+		}
+		for i := 1; i <= n; i++ {
+			if nb[i] <= nb[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReboundRejectsBadInput(t *testing.T) {
+	if _, err := Rebound([]uint64{0, 10}, []float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("bound/load mismatch accepted")
+	}
+	if _, err := Rebound([]uint64{0, 10, 20}, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("target mismatch accepted")
+	}
+	if _, err := Rebound([]uint64{0, 10, 20}, []float64{-1, 2}, []float64{1, 0}); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestReboundOneShotThenBalanced(t *testing.T) {
+	// After a One-Shot rebound, re-measuring with the same underlying key
+	// distribution (uniform within old partitions) must yield near-zero
+	// imbalance: compute the load each new partition would receive.
+	bounds := []uint64{0, 100, 200, 300, 400}
+	loads := []float64{10, 0, 0, 30}
+	nb, err := Rebound(bounds, loads, OneShot{}.Targets(loads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	density := func(key uint64) float64 {
+		for i := 0; i < len(loads); i++ {
+			if key >= bounds[i] && key < bounds[i+1] {
+				return loads[i] / float64(bounds[i+1]-bounds[i])
+			}
+		}
+		return 0
+	}
+	newLoads := make([]float64, len(loads))
+	for i := 0; i < len(newLoads); i++ {
+		for k := nb[i]; k < nb[i+1]; k++ {
+			newLoads[i] += density(k)
+		}
+	}
+	if imb := Imbalance(newLoads); imb > 0.05 {
+		t.Fatalf("imbalance after One-Shot = %f (loads %v, bounds %v)", imb, newLoads, nb)
+	}
+}

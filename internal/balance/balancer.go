@@ -1,0 +1,299 @@
+package balance
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"eris/internal/aeu"
+	"eris/internal/command"
+	"eris/internal/routing"
+	"eris/internal/topology"
+)
+
+// Metric selects what the monitor samples for an object.
+type Metric int
+
+// Monitoring metrics (Section 3.3): physical partition size for objects
+// that are always scanned entirely, access frequency for objects facing
+// lookups or range scans, and mean command execution time as an additional
+// signal for the latter.
+const (
+	AccessFrequency Metric = iota
+	PhysicalSize
+	MeanCommandTime
+)
+
+// Config tunes the balancer.
+type Config struct {
+	// SampleIntervalSec is the monitoring window in virtual seconds.
+	// Default 1.0.
+	SampleIntervalSec float64
+	// Threshold is the relative standard deviation that triggers a cycle.
+	// Default 0.15.
+	Threshold float64
+	// PollReal is the real-time polling interval for virtual-clock
+	// progress. Default 200 microseconds.
+	PollReal time.Duration
+	// AckTimeout bounds the real-time wait for AEU acknowledgements.
+	// Default 30 s.
+	AckTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleIntervalSec == 0 {
+		c.SampleIntervalSec = 1.0
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.15
+	}
+	if c.PollReal == 0 {
+		c.PollReal = 200 * time.Microsecond
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// watched is one object under balancer control.
+type watched struct {
+	obj      routing.ObjectID
+	kind     routing.TableKind
+	metric   Metric
+	alg      Algorithm
+	domainHi uint64 // exclusive upper bound of the key domain
+}
+
+// Cycle records one executed balancing cycle for reporting.
+type Cycle struct {
+	Epoch      uint64
+	Object     routing.ObjectID
+	TimeSec    float64 // virtual time at trigger
+	Imbalance  float64
+	Algorithm  string
+	Involved   int
+	MovedEst   uint64
+	AckedInSec float64 // real seconds until all AEUs acked
+}
+
+type ack struct {
+	aeu   uint32
+	obj   routing.ObjectID
+	epoch uint64
+}
+
+// Balancer is the NUMA-aware load balancer component of the engine.
+type Balancer struct {
+	router  *routing.Router
+	aeus    []*aeu.AEU
+	cfg     Config
+	watched []watched
+
+	acks   chan ack
+	stopCh chan struct{}
+	doneCh chan struct{}
+	epoch  uint64
+
+	mu     sync.Mutex
+	cycles []Cycle
+}
+
+// New creates a balancer over the engine's AEUs. The caller must install
+// the balancer's Ack as every AEU's epoch-done callback.
+func New(router *routing.Router, aeus []*aeu.AEU, cfg Config) *Balancer {
+	return &Balancer{
+		router: router,
+		aeus:   aeus,
+		cfg:    cfg.withDefaults(),
+		acks:   make(chan ack, 8*len(aeus)+16),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+}
+
+// Ack is the AEU epoch-done callback.
+func (b *Balancer) Ack(aeuID uint32, obj routing.ObjectID, epoch uint64) {
+	select {
+	case b.acks <- ack{aeu: aeuID, obj: obj, epoch: epoch}:
+	default:
+		// Dropping is safe: the cycle's ack wait times out and the next
+		// sampling window re-evaluates the imbalance.
+	}
+}
+
+// Watch puts an object under balancer control. domainHi is the exclusive
+// upper bound of the object's key domain (ignored for size-partitioned
+// objects). alg nil defaults to One-Shot.
+func (b *Balancer) Watch(obj routing.ObjectID, domainHi uint64, metric Metric, alg Algorithm) {
+	if alg == nil {
+		alg = OneShot{}
+	}
+	b.watched = append(b.watched, watched{
+		obj:      obj,
+		kind:     b.router.Kind(obj),
+		metric:   metric,
+		alg:      alg,
+		domainHi: domainHi,
+	})
+}
+
+// Cycles returns the executed balancing cycles.
+func (b *Balancer) Cycles() []Cycle {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Cycle(nil), b.cycles...)
+}
+
+// SampleLoads reads and resets the monitoring window of every AEU's
+// partition of obj, returning the configured metric per AEU.
+func (b *Balancer) SampleLoads(w watched) []float64 {
+	loads := make([]float64, len(b.aeus))
+	for i, a := range b.aeus {
+		p := a.Partition(w.obj)
+		if p == nil {
+			continue
+		}
+		acc, meanPS := p.TakeSample()
+		switch w.metric {
+		case AccessFrequency:
+			loads[i] = float64(acc)
+		case PhysicalSize:
+			loads[i] = float64(p.SizeTuples())
+		case MeanCommandTime:
+			loads[i] = meanPS
+		}
+	}
+	return loads
+}
+
+// Run executes the monitoring/balancing loop until Stop; it is the
+// balancer goroutine's body.
+func (b *Balancer) Run() {
+	defer close(b.doneCh)
+	machine := b.router.Machine()
+	last := topology.CoreID(b.router.NumAEUs())
+	clockSec := func() float64 { return float64(machine.MinClock(0, last)) / 1e12 }
+	next := clockSec() + b.cfg.SampleIntervalSec
+	for {
+		select {
+		case <-b.stopCh:
+			return
+		case <-time.After(b.cfg.PollReal):
+		}
+		now := clockSec()
+		if now < next {
+			continue
+		}
+		for i := range b.watched {
+			b.evaluate(&b.watched[i], now)
+		}
+		next = clockSec() + b.cfg.SampleIntervalSec
+	}
+}
+
+// Stop terminates the Run loop and waits for it to exit.
+func (b *Balancer) Stop() {
+	close(b.stopCh)
+	<-b.doneCh
+}
+
+// evaluate samples one object and runs a balancing cycle when the
+// imbalance exceeds the threshold.
+func (b *Balancer) evaluate(w *watched, nowSec float64) {
+	loads := b.SampleLoads(*w)
+	imb := Imbalance(loads)
+	if imb <= b.cfg.Threshold {
+		return
+	}
+	var (
+		plan *Plan
+		err  error
+	)
+	b.epoch++
+	if w.kind == routing.RangePartitioned {
+		plan, err = b.planRangeCycle(w, loads)
+	} else {
+		plan, err = b.planSizeCycle(w)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("balance: planning object %d: %v", w.obj, err))
+	}
+	if plan == nil || plan.Involved() == 0 {
+		return
+	}
+	if plan.Entries != nil {
+		if err := b.router.UpdateRange(w.obj, plan.Entries); err != nil {
+			panic(fmt.Sprintf("balance: updating routing table: %v", err))
+		}
+	}
+	for aeuID, bal := range plan.Commands {
+		b.router.Inject(aeuID, &command.Command{
+			Op: command.OpBalance, Object: uint32(w.obj),
+			Source: aeuID, ReplyTo: command.NoReply,
+			Balance: bal,
+		})
+	}
+	start := time.Now()
+	b.waitAcks(plan.Epoch, plan.Involved())
+	b.mu.Lock()
+	b.cycles = append(b.cycles, Cycle{
+		Epoch: plan.Epoch, Object: w.obj, TimeSec: nowSec,
+		Imbalance: imb, Algorithm: w.alg.Name(),
+		Involved: plan.Involved(), MovedEst: plan.MovedTuplesEstimate,
+		AckedInSec: time.Since(start).Seconds(),
+	})
+	b.mu.Unlock()
+}
+
+func (b *Balancer) planRangeCycle(w *watched, loads []float64) (*Plan, error) {
+	entries := b.router.OwnerEntries(w.obj)
+	if len(entries) != len(b.aeus) {
+		return nil, fmt.Errorf("object %d has %d ranges for %d AEUs", w.obj, len(entries), len(b.aeus))
+	}
+	bounds := make([]uint64, len(entries)+1)
+	for i, e := range entries {
+		if e.Owner != uint32(i) {
+			return nil, fmt.Errorf("object %d: range %d owned by AEU %d, ordered ownership required", w.obj, i, e.Owner)
+		}
+		bounds[i] = e.Low
+	}
+	bounds[len(entries)] = w.domainHi
+	targets := w.alg.Targets(loads)
+	newBounds, err := Rebound(bounds, loads, targets)
+	if err != nil {
+		return nil, err
+	}
+	return PlanRange(b.epoch, bounds, newBounds)
+}
+
+func (b *Balancer) planSizeCycle(w *watched) (*Plan, error) {
+	counts := make([]int64, len(b.aeus))
+	nodes := make([]topology.NodeID, len(b.aeus))
+	for i, a := range b.aeus {
+		nodes[i] = a.Node
+		if p := a.Partition(w.obj); p != nil {
+			counts[i] = p.SizeTuples()
+		}
+	}
+	return PlanSize(b.epoch, counts, nodes)
+}
+
+// waitAcks blocks until `expect` acknowledgements for epoch arrive or the
+// timeout fires.
+func (b *Balancer) waitAcks(epoch uint64, expect int) {
+	deadline := time.After(b.cfg.AckTimeout)
+	got := 0
+	for got < expect {
+		select {
+		case a := <-b.acks:
+			if a.epoch == epoch {
+				got++
+			}
+		case <-deadline:
+			return
+		case <-b.stopCh:
+			return
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package balance
+
+import (
+	"fmt"
+
+	"eris/internal/command"
+	"eris/internal/csbtree"
+	"eris/internal/topology"
+)
+
+// Plan is one balancing cycle's output: the new routing table and the
+// balancing command for every AEU whose responsibility changes.
+type Plan struct {
+	Epoch uint64
+	// Entries is the new range partitioning (nil for size-partitioned
+	// objects).
+	Entries []csbtree.Entry
+	// Commands maps AEU -> its balancing command.
+	Commands map[uint32]*command.Balance
+	// MovedTuplesEstimate sums the planned fetch volumes (tuples for size
+	// plans; key-range width for range plans).
+	MovedTuplesEstimate uint64
+}
+
+// Involved returns the number of AEUs that receive a command (and whose
+// acks complete the cycle).
+func (p *Plan) Involved() int { return len(p.Commands) }
+
+// PlanRange diffs the current and target boundaries of a range-partitioned
+// object into balancing commands. bounds and newBounds have n+1 entries
+// (domain low .. exclusive domain high); AEU i owns range i.
+func PlanRange(epoch uint64, bounds, newBounds []uint64) (*Plan, error) {
+	n := len(bounds) - 1
+	if len(newBounds) != n+1 {
+		return nil, fmt.Errorf("balance: bound count mismatch %d vs %d", len(bounds), len(newBounds))
+	}
+	if bounds[0] != newBounds[0] || bounds[n] != newBounds[n] {
+		return nil, fmt.Errorf("balance: outer bounds must not move")
+	}
+	plan := &Plan{Epoch: epoch, Commands: make(map[uint32]*command.Balance)}
+	plan.Entries = make([]csbtree.Entry, n)
+	for i := 0; i < n; i++ {
+		plan.Entries[i] = csbtree.Entry{Low: newBounds[i], Owner: uint32(i)}
+	}
+
+	for i := 0; i < n; i++ {
+		oldLo, oldHi := bounds[i], bounds[i+1]
+		newLo, newHi := newBounds[i], newBounds[i+1]
+		if oldLo == newLo && oldHi == newHi {
+			continue
+		}
+		b := &command.Balance{Epoch: epoch, NewLo: newLo, NewHi: newHi - 1}
+		// Fetches: parts of the new range owned by other AEUs before.
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			lo := maxU64(newLo, bounds[j])
+			hi := minU64(newHi, bounds[j+1])
+			if lo >= hi {
+				continue
+			}
+			b.Fetches = append(b.Fetches, command.Fetch{From: uint32(j), Lo: lo, Hi: hi - 1})
+			plan.MovedTuplesEstimate += hi - lo
+		}
+		plan.Commands[uint32(i)] = b
+	}
+	return plan, nil
+}
+
+// PlanSize balances a size-partitioned object: AEUs above the average
+// tuple count hand their surplus to AEUs below it. Matching prefers
+// surplus/deficit pairs on the same NUMA node so transfers use the cheap
+// link mechanism where possible.
+func PlanSize(epoch uint64, counts []int64, nodes []topology.NodeID) (*Plan, error) {
+	n := len(counts)
+	if len(nodes) != n {
+		return nil, fmt.Errorf("balance: %d node tags for %d partitions", len(nodes), n)
+	}
+	var total int64
+	for _, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("balance: negative count")
+		}
+		total += c
+	}
+	plan := &Plan{Epoch: epoch, Commands: make(map[uint32]*command.Balance)}
+	if n == 0 || total == 0 {
+		return plan, nil
+	}
+	avg := total / int64(n)
+
+	type side struct {
+		aeu  uint32
+		amt  int64
+		node topology.NodeID
+	}
+	var surplus, deficit []side
+	for i, c := range counts {
+		switch {
+		case c > avg:
+			surplus = append(surplus, side{uint32(i), c - avg, nodes[i]})
+		case c < avg:
+			deficit = append(deficit, side{uint32(i), avg - c, nodes[i]})
+		}
+	}
+
+	take := func(d *side, s *side) {
+		m := minI64(d.amt, s.amt)
+		if m <= 0 {
+			return
+		}
+		b := plan.Commands[d.aeu]
+		if b == nil {
+			b = &command.Balance{Epoch: epoch}
+			plan.Commands[d.aeu] = b
+		}
+		b.Fetches = append(b.Fetches, command.Fetch{From: s.aeu, Tuples: m})
+		plan.MovedTuplesEstimate += uint64(m)
+		d.amt -= m
+		s.amt -= m
+	}
+	// Pass 1: same-node matches (link transfers).
+	for di := range deficit {
+		for si := range surplus {
+			if deficit[di].amt == 0 {
+				break
+			}
+			if surplus[si].node == deficit[di].node {
+				take(&deficit[di], &surplus[si])
+			}
+		}
+	}
+	// Pass 2: any remaining surplus (copy transfers).
+	for di := range deficit {
+		for si := range surplus {
+			if deficit[di].amt == 0 {
+				break
+			}
+			take(&deficit[di], &surplus[si])
+		}
+	}
+	return plan, nil
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

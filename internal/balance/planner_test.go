@@ -1,0 +1,141 @@
+package balance
+
+import (
+	"testing"
+
+	"eris/internal/topology"
+)
+
+func TestPlanRangeFetches(t *testing.T) {
+	// AEU 1 grows into [250,500) previously owned by AEUs 0 and 2.
+	bounds := []uint64{0, 300, 400, 600}
+	newBounds := []uint64{0, 250, 500, 600}
+	plan, err := PlanRange(7, bounds, newBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Epoch != 7 {
+		t.Errorf("epoch = %d", plan.Epoch)
+	}
+	// All three AEUs change bounds.
+	if plan.Involved() != 3 {
+		t.Fatalf("involved = %d: %+v", plan.Involved(), plan.Commands)
+	}
+	b0 := plan.Commands[0]
+	if b0.NewLo != 0 || b0.NewHi != 249 || len(b0.Fetches) != 0 {
+		t.Errorf("aeu0 = %+v", b0)
+	}
+	b1 := plan.Commands[1]
+	if b1.NewLo != 250 || b1.NewHi != 499 {
+		t.Errorf("aeu1 bounds = %+v", b1)
+	}
+	if len(b1.Fetches) != 2 {
+		t.Fatalf("aeu1 fetches = %+v", b1.Fetches)
+	}
+	// Fetch [250,299] from AEU 0 and [400,499] from AEU 2.
+	seen := map[uint32][2]uint64{}
+	for _, f := range b1.Fetches {
+		seen[f.From] = [2]uint64{f.Lo, f.Hi}
+	}
+	if seen[0] != [2]uint64{250, 299} || seen[2] != [2]uint64{400, 499} {
+		t.Errorf("fetches = %v", seen)
+	}
+	b2 := plan.Commands[2]
+	if b2.NewLo != 500 || b2.NewHi != 599 || len(b2.Fetches) != 0 {
+		t.Errorf("aeu2 = %+v", b2)
+	}
+	// New routing entries ordered by AEU.
+	for i, e := range plan.Entries {
+		if e.Owner != uint32(i) || e.Low != newBounds[i] {
+			t.Errorf("entry %d = %+v", i, e)
+		}
+	}
+	if plan.MovedTuplesEstimate != 150 {
+		t.Errorf("moved estimate = %d", plan.MovedTuplesEstimate)
+	}
+}
+
+func TestPlanRangeNoChange(t *testing.T) {
+	bounds := []uint64{0, 100, 200}
+	plan, err := PlanRange(1, bounds, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Involved() != 0 {
+		t.Fatalf("involved = %d", plan.Involved())
+	}
+}
+
+func TestPlanRangeRejectsMovedOuterBounds(t *testing.T) {
+	if _, err := PlanRange(1, []uint64{0, 10, 20}, []uint64{0, 10, 30}); err == nil {
+		t.Error("moved outer bound accepted")
+	}
+	if _, err := PlanRange(1, []uint64{0, 10, 20}, []uint64{0, 20}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestPlanSizePrefersSameNode(t *testing.T) {
+	// AEUs 0,1 on node 0; AEUs 2,3 on node 1. AEU 0 has surplus; AEU 1
+	// (same node) and AEU 3 (remote) have deficits.
+	counts := []int64{200, 0, 100, 100}
+	nodes := []topology.NodeID{0, 0, 1, 1}
+	plan, err := PlanSize(3, counts, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// avg = 100: AEU 0 gives 100, AEU 1 needs 100. Same-node match.
+	b1 := plan.Commands[1]
+	if b1 == nil || len(b1.Fetches) != 1 || b1.Fetches[0].From != 0 || b1.Fetches[0].Tuples != 100 {
+		t.Fatalf("plan = %+v", plan.Commands)
+	}
+	if plan.MovedTuplesEstimate != 100 {
+		t.Errorf("moved = %d", plan.MovedTuplesEstimate)
+	}
+}
+
+func TestPlanSizeCrossNodeFallback(t *testing.T) {
+	// Surplus on node 0, deficit on node 1 only.
+	counts := []int64{300, 100, 100, 100}
+	nodes := []topology.NodeID{0, 0, 1, 1}
+	plan, err := PlanSize(4, counts, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// avg = 150: AEU 0 surplus 150; AEUs 1,2,3 deficit 50 each.
+	totalFetched := int64(0)
+	for _, b := range plan.Commands {
+		for _, f := range b.Fetches {
+			if f.From != 0 {
+				t.Errorf("fetch from %d", f.From)
+			}
+			totalFetched += f.Tuples
+		}
+	}
+	if totalFetched != 150 {
+		t.Errorf("total fetched = %d", totalFetched)
+	}
+}
+
+func TestPlanSizeBalanced(t *testing.T) {
+	plan, err := PlanSize(1, []int64{100, 100}, []topology.NodeID{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Involved() != 0 {
+		t.Errorf("balanced plan moved data: %+v", plan.Commands)
+	}
+	plan, err = PlanSize(1, nil, nil)
+	if err != nil || plan.Involved() != 0 {
+		t.Errorf("empty plan: %v %+v", err, plan)
+	}
+}
+
+func TestPlanSizeRejectsBadInput(t *testing.T) {
+	if _, err := PlanSize(1, []int64{1}, nil); err == nil {
+		t.Error("node mismatch accepted")
+	}
+	if _, err := PlanSize(1, []int64{-1}, []topology.NodeID{0}); err == nil {
+		t.Error("negative count accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"eris/internal/topology"
+)
+
+// Fig1 reproduces the headline scalability figure: index lookup throughput
+// (paper: 1 billion keys, scaled down) and full column scans on the SGI
+// UV 2000, varying the number of multiprocessors. The paper reports a
+// more-than-linear lookup speedup — adding sockets adds last-level cache,
+// so a fixed-size index becomes increasingly cache resident — and linear
+// scan scaling bounded only by the aggregate local memory bandwidth.
+func Fig1(p Params) ([]*Table, error) {
+	scale := p.scale()
+	cscale := p.cacheScale()
+	domain := uint64(1e9 / scale)     // 1 B keys scaled
+	scanEntries := int64(8e9 / scale) // 8 B column entries scaled
+	sockets := []int{1, 2, 4, 8, 16, 32, 64}
+	if p.Quick {
+		sockets = []int{1, 4, 16}
+	}
+	durLookup := p.dur(0.002)
+	durScan := p.dur(0.0005)
+
+	lookup := &Table{
+		Title:   "Figure 1 (left): Index Lookup Scalability on SGI UV 2000",
+		Headers: []string{"sockets", "cores", "lookups (M/s)", "speedup", "efficiency"},
+	}
+	scan := &Table{
+		Title:   "Figure 1 (right): Column Scan Scalability on SGI UV 2000",
+		Headers: []string{"sockets", "cores", "scan BW (GB/s)", "speedup", "bound by"},
+	}
+	var lookupBase, scanBase float64
+	for _, n := range sockets {
+		topo := topology.SGISubset(n)
+		s := setup{Topo: topo, CacheScale: cscale}
+
+		lr, err := erisLookupRun(s, domain, 64, durLookup)
+		if err != nil {
+			return nil, err
+		}
+		if lookupBase == 0 {
+			lookupBase = lr.Throughput / float64(topo.NumNodes())
+		}
+		su := speedup(lr.Throughput, lookupBase)
+		lookup.Add(topo.NumNodes(), topo.NumCores(), mops(lr.Throughput), su, su/float64(topo.NumNodes()))
+
+		sr, err := erisScanRun(s, scanEntries, durScan)
+		if err != nil {
+			return nil, err
+		}
+		if scanBase == 0 {
+			scanBase = sr.MCGBs / float64(topo.NumNodes())
+		}
+		scan.Add(topo.NumNodes(), topo.NumCores(), sr.MCGBs, speedup(sr.MCGBs, scanBase), sr.BoundBy)
+	}
+	lookup.Note("paper: more-than-linear speedup for 1 B keys; efficiency > 1 indicates the cache effect")
+	scan.Note("paper: linear scan scaling limited only by local memory bandwidth (36.2 GB/s per socket)")
+	return []*Table{lookup, scan}, nil
+}

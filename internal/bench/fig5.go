@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"eris/internal/aeu"
+	"eris/internal/core"
+	"eris/internal/hwcounter"
+	"eris/internal/topology"
+)
+
+// approxCmdBytes is the encoded size of a single-key lookup command plus
+// its frame byte; the paper's x-axis counts buffer capacity in commands.
+const approxCmdBytes = 38
+
+// Fig5 reproduces the routing-throughput experiment on the AMD machine:
+// data command routing throughput as a function of the outgoing buffer
+// size, once with the processing phase skipped ("raw routing", lookups
+// against an empty index) and once with index lookups processed. The
+// paper's shape: raw throughput roughly doubles with the buffer size until
+// the NUMA interconnect saturates; with processing enabled the curve goes
+// flat once buffers hold ~128 commands because index lookups dominate.
+func Fig5(p Params) ([]*Table, error) {
+	bufs := []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+	if p.Quick {
+		bufs = []int{64, 512, 4096}
+	}
+	dur := p.dur(0.002)
+	cscale := p.cacheScale()
+	domain := uint64(1e9 / p.scale())
+
+	t := &Table{
+		Title:   "Figure 5: Data Command Routing Throughput vs. Outgoing Buffer Size (AMD)",
+		Headers: []string{"buffer (bytes)", "~commands", "raw routing (M cmd/s)", "with lookups (M cmd/s)"},
+	}
+	for _, buf := range bufs {
+		// FlushOlap 1 serializes the flush round trips, isolating what the
+		// outgoing buffers amortize; the engine default pipelines them.
+		raw, err := fig5Run(setup{Topo: topology.AMD(), OutBuf: buf, FlushOlap: 1}, domain, dur, false)
+		if err != nil {
+			return nil, err
+		}
+		proc, err := fig5Run(setup{Topo: topology.AMD(), OutBuf: buf, CacheScale: cscale, FlushOlap: 1}, domain, dur, true)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(buf, buf/approxCmdBytes, mops(raw.Throughput), mops(proc.Throughput))
+	}
+	t.Note("raw mode routes lookups against an empty index: the processing stage is a nil-root miss")
+	t.Note("flush round trips serialized (FlushOverlap 1) to isolate the buffer effect; engine default pipelines 8-deep")
+	t.Note("paper: raw throughput doubles with buffer size until the interconnect saturates; processed peaks by ~128 commands")
+	return []*Table{t}, nil
+}
+
+func fig5Run(s setup, domain uint64, dur float64, load bool) (hwcounter.Report, error) {
+	e, err := core.New(s.engineConfig())
+	if err != nil {
+		return hwcounter.Report{}, err
+	}
+	defer e.Stop()
+	if err := e.CreateIndex(benchObj, domain); err != nil {
+		return hwcounter.Report{}, err
+	}
+	if load {
+		if err := e.LoadIndexDense(benchObj, domain, nil); err != nil {
+			return hwcounter.Report{}, err
+		}
+	}
+	// Both modes use the per-call command stream; whether the index is
+	// loaded decides if the processing stage costs anything.
+	e.SetGenerators(func(i int) aeu.Generator {
+		return &core.RawRoutingGenerator{
+			Object: benchObj, Domain: domain, Batch: 64, PerLoop: 32, DurationSec: dur * 3,
+		}
+	})
+	return runMeasured(e, dur)
+}

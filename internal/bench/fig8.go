@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+
+	"eris/internal/topology"
+)
+
+// Fig8 reproduces the point-access experiments: lookup and upsert
+// throughput of ERIS vs. the NUMA-agnostic shared index for growing index
+// sizes, on all three machines. The paper's shape: on the small Intel
+// machine with small indexes, the shared index wins (ERIS pays the routing
+// overhead); with more multiprocessors and larger indexes ERIS clearly
+// supersedes it (~1.6x on AMD at 1 B keys, ~3.5x on SGI at 16 B keys).
+
+// fig8Sizes returns the scaled index sizes for one machine.
+func fig8Sizes(p Params, sgi bool) []uint64 {
+	scale := p.scale()
+	// Paper: 16 M .. 2 G keys (Intel/AMD), 16 M .. 32 G (SGI).
+	paper := []float64{16e6, 64e6, 256e6, 1e9, 2e9}
+	if sgi {
+		// Fewer points at 512 AEUs: each run is expensive on the host.
+		paper = []float64{16e6, 1e9, 16e9, 32e9}
+	}
+	if p.Quick {
+		paper = paper[:2]
+	}
+	sizes := make([]uint64, 0, len(paper))
+	for _, s := range paper {
+		n := uint64(s / scale)
+		if n < 4096 {
+			n = 4096
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes
+}
+
+func fig8Machine(p Params, topo *topology.Topology, sgi bool, title string) (*Table, error) {
+	t := &Table{
+		Title: title,
+		Headers: []string{"keys (scaled)", "paper keys", "ERIS lookup (M/s)", "shared lookup (M/s)", "lookup ratio",
+			"ERIS upsert (M/s)", "shared upsert (M/s)", "upsert ratio"},
+	}
+	scale := p.scale()
+	cscale := p.cacheScale()
+	dur := p.dur(0.002)
+	for _, domain := range fig8Sizes(p, sgi) {
+		s := setup{Topo: topo, CacheScale: cscale}
+		el, err := erisLookupRun(s, domain, 64, dur)
+		if err != nil {
+			return nil, err
+		}
+		sl, err := sharedLookupRun(topo, topo.NumCores(), cscale, domain, 64, dur)
+		if err != nil {
+			return nil, err
+		}
+		eu, err := erisUpsertRun(s, domain, 64, dur)
+		if err != nil {
+			return nil, err
+		}
+		su, err := sharedUpsertRun(topo, topo.NumCores(), cscale, domain, 64, dur)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(domain, fmt.Sprintf("%.0fM", float64(domain)*scale/1e6),
+			mops(el.Throughput), mops(sl.Throughput), speedup(el.Throughput, sl.Throughput),
+			mops(eu.Throughput), mops(su.Throughput), speedup(eu.Throughput, su.Throughput))
+	}
+	t.Note("ratio > 1 means ERIS ahead; paper: shared wins small-on-small-machine, ERIS wins at scale")
+	return t, nil
+}
+
+// Fig8Intel is Figure 8(a).
+func Fig8Intel(p Params) ([]*Table, error) {
+	t, err := fig8Machine(p, topology.Intel(), false, "Figure 8a: Lookup/Upsert Throughput vs. Index Size (Intel)")
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+// Fig8AMD is Figure 8(b).
+func Fig8AMD(p Params) ([]*Table, error) {
+	t, err := fig8Machine(p, topology.AMD(), false, "Figure 8b: Lookup/Upsert Throughput vs. Index Size (AMD)")
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+// Fig8SGI is Figure 8(c).
+func Fig8SGI(p Params) ([]*Table, error) {
+	t, err := fig8Machine(p, topology.SGI(), true, "Figure 8c: Lookup/Upsert Throughput vs. Index Size (SGI)")
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"strings"
+
+	"eris/internal/numasim"
+	"eris/internal/topology"
+)
+
+// Table1 reproduces the machine specification overview.
+func Table1(p Params) ([]*Table, error) {
+	t := &Table{
+		Title:   "Table 1: Machine Specification Overview",
+		Headers: []string{"", "Intel machine", "AMD machine", "SGI machine"},
+	}
+	specs := []topology.MachineSpec{
+		topology.Spec(topology.Intel()),
+		topology.Spec(topology.AMD()),
+		topology.Spec(topology.SGI()),
+	}
+	row := func(label string, get func(s topology.MachineSpec) string) {
+		t.Add(label, get(specs[0]), get(specs[1]), get(specs[2]))
+	}
+	row("processors", func(s topology.MachineSpec) string { return s.Processors })
+	row("cores", func(s topology.MachineSpec) string { return s.Cores })
+	row("memory", func(s topology.MachineSpec) string { return s.Memory })
+	row("LLC", func(s topology.MachineSpec) string { return s.LLC })
+	row("interconnect", func(s topology.MachineSpec) string { return strings.Join(s.Interconnect, "; ") })
+	row("OS", func(s topology.MachineSpec) string { return s.OS })
+	return []*Table{t}, nil
+}
+
+// Table2 reproduces the bandwidth/latency-by-distance matrix by measuring
+// the simulated machines end to end: a single pointer-chasing reader for
+// latency and a single streaming core for pair bandwidth, per distance
+// class. Measured values must reproduce the calibration (the paper's own
+// numbers) — this experiment doubles as the simulator's self-check.
+func Table2(p Params) ([]*Table, error) {
+	var out []*Table
+	for _, topo := range []*topology.Topology{topology.Intel(), topology.AMD(), topology.SGI()} {
+		m, err := numasim.New(topo, numasim.Config{})
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			Title:   "Table 2: " + topo.Name,
+			Headers: []string{"distance", "bandwidth (GB/s)", "paper BW", "latency (ns)", "paper lat"},
+		}
+		for _, dc := range topo.DistanceClasses() {
+			src, dst := dc.Src, dc.Dst
+			core, _ := topo.CoresOfNode(src)
+
+			// Latency: dependent 8-byte reads (pointer chasing), fresh
+			// addresses so no cache interferes even when enabled.
+			const chases = 1000
+			before := m.Clock(core)
+			for i := 0; i < chases; i++ {
+				m.Read(core, dst, m.Alloc(8), 8, 1)
+			}
+			latNS := float64(m.Clock(core)-before) / 1000 / chases
+
+			// Bandwidth: one long sequential stream.
+			const bytes = 64 << 20
+			before = m.Clock(core)
+			m.Stream(core, dst, bytes)
+			sec := float64(m.Clock(core)-before) / 1e12
+			bw := bytes / sec / 1e9
+
+			t.Add(dc.Class, bw, dc.Cost.BandwidthGBs, latNS, dc.Cost.LatencyNS)
+		}
+		t.Note("measured through the full access path; latency includes the 8 B transfer time")
+		out = append(out, t)
+	}
+	return out, nil
+}

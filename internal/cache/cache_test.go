@@ -1,0 +1,216 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"eris/internal/topology"
+)
+
+func newTestSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := New(topology.FullyConnected(4, 2, 20, 100, 8, 200, 10), 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	s := newTestSystem(t)
+	const addr = 1 << 20
+	r := s.Access(0, 1, addr, false)
+	if r.Hit || r.FromCache {
+		t.Fatalf("cold access: %+v, want memory miss", r)
+	}
+	r = s.Access(0, 1, addr, false)
+	if !r.Hit || r.HitState != Exclusive {
+		t.Fatalf("second access: %+v, want Exclusive hit", r)
+	}
+}
+
+func TestWriteMakesModified(t *testing.T) {
+	s := newTestSystem(t)
+	const addr = 1 << 20
+	s.Access(0, 0, addr, true)
+	r := s.Access(0, 0, addr, false)
+	if !r.Hit || r.HitState != Modified {
+		t.Fatalf("after write: %+v, want Modified hit", r)
+	}
+}
+
+func TestSharingProducesForwardAndShared(t *testing.T) {
+	s := newTestSystem(t)
+	const addr = 1 << 20
+	s.Access(0, 2, addr, false) // node 0: Exclusive
+	r := s.Access(1, 2, addr, false)
+	if r.Hit || !r.FromCache || r.Source != 0 {
+		t.Fatalf("node 1 first access: %+v, want forwarded from node 0", r)
+	}
+	// Node 1 now holds Forward, node 0 was downgraded to Shared.
+	if r := s.Access(1, 2, addr, false); !r.Hit || r.HitState != Forward {
+		t.Fatalf("node 1 re-access: %+v, want Forward hit", r)
+	}
+	if r := s.Access(0, 2, addr, false); !r.Hit || r.HitState != Shared {
+		t.Fatalf("node 0 re-access: %+v, want Shared hit", r)
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteInvalidatesOthers(t *testing.T) {
+	s := newTestSystem(t)
+	const addr = 1 << 20
+	s.Access(0, 2, addr, false)
+	s.Access(1, 2, addr, false)
+	s.Access(2, 2, addr, true) // write invalidates nodes 0 and 1
+	if r := s.Access(0, 2, addr, false); r.Hit {
+		t.Fatalf("node 0 after remote write: %+v, want miss", r)
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteHitOnSharedUpgrades(t *testing.T) {
+	s := newTestSystem(t)
+	const addr = 1 << 20
+	s.Access(0, 2, addr, false)
+	s.Access(1, 2, addr, false) // 0: Shared, 1: Forward
+	r := s.Access(0, 2, addr, true)
+	if !r.Hit || r.HitState != Shared {
+		t.Fatalf("write hit: %+v, want hit on Shared", r)
+	}
+	if r := s.Access(0, 2, addr, false); r.HitState != Modified {
+		t.Fatalf("after upgrade: %+v, want Modified", r)
+	}
+	if r := s.Access(1, 2, addr, false); r.Hit {
+		t.Fatalf("node 1 after upgrade: %+v, want invalidated", r)
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionWritesBackDirtyLines(t *testing.T) {
+	s := newTestSystem(t)
+	c := &s.llcs[0]
+	// Fill one set beyond capacity with writes; all map to the same set by
+	// construction (stride = number of sets in line units is unknown after
+	// hashing, so just blast enough distinct lines and look for writebacks).
+	total := len(c.lines) * 4
+	var sawWriteback bool
+	for i := 0; i < total; i++ {
+		r := s.Access(0, 0, uint64(i)<<6|1<<30, true)
+		if r.WritebackBytes > 0 {
+			sawWriteback = true
+			if r.WritebackHome != 0 {
+				t.Fatalf("writeback home = %d, want 0", r.WritebackHome)
+			}
+		}
+	}
+	if !sawWriteback {
+		t.Fatal("no writeback observed despite overfilling the cache")
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := newTestSystem(t)
+	const addr = 1 << 22
+	s.Access(0, 1, addr, false)
+	s.Access(0, 1, addr, false)
+	s.Access(0, 1, addr+64, false)
+	st := s.NodeStats(0)
+	if st.Accesses != 3 || st.Misses != 2 || st.Hits() != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MissRatio() < 0.66 || st.MissRatio() > 0.67 {
+		t.Fatalf("miss ratio = %f", st.MissRatio())
+	}
+	if got := st.HitStateShare(Exclusive); got != 1.0 {
+		t.Fatalf("exclusive hit share = %f, want 1", got)
+	}
+	s.ResetStats()
+	if st := s.NodeStats(0); st.Accesses != 0 {
+		t.Fatalf("after reset: %+v", st)
+	}
+}
+
+func TestFlushEmptiesCaches(t *testing.T) {
+	s := newTestSystem(t)
+	s.Access(0, 1, 1<<20, false)
+	s.Flush()
+	if r := s.Access(0, 1, 1<<20, false); r.Hit {
+		t.Fatalf("after flush: %+v, want miss", r)
+	}
+}
+
+func TestInvariantsUnderRandomWorkload(t *testing.T) {
+	s := newTestSystem(t)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		node := topology.NodeID(rng.Intn(4))
+		home := topology.NodeID(rng.Intn(4))
+		addr := uint64(rng.Intn(4096))<<6 | 1<<28
+		s.Access(node, home, addr, rng.Intn(4) == 0)
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	total := s.TotalStats()
+	if total.Accesses != 20000 {
+		t.Fatalf("total accesses = %d", total.Accesses)
+	}
+	if total.Misses != total.FromCache+total.FromMemory {
+		t.Fatalf("misses %d != fromCache %d + fromMemory %d", total.Misses, total.FromCache, total.FromMemory)
+	}
+}
+
+func TestScaleShrinksCapacity(t *testing.T) {
+	topo := topology.Intel()
+	full, err := New(topo, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := New(topo, 128, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.CapacityLines(0) <= scaled.CapacityLines(0) {
+		t.Fatalf("scaling did not shrink capacity: %d vs %d", full.CapacityLines(0), scaled.CapacityLines(0))
+	}
+}
+
+func TestNewRejectsBadLineSize(t *testing.T) {
+	topo := topology.SingleNode(1)
+	for _, bad := range []int64{0, -64, 65, 100} {
+		if _, err := New(topo, 1, bad); err == nil {
+			t.Errorf("line size %d accepted", bad)
+		}
+	}
+}
+
+func TestConcurrentAccessIsSafe(t *testing.T) {
+	s := newTestSystem(t)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(node topology.NodeID) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(int64(node)))
+			for i := 0; i < 5000; i++ {
+				addr := uint64(rng.Intn(2048))<<6 | 1<<29
+				s.Access(node, topology.NodeID(rng.Intn(4)), addr, rng.Intn(8) == 0)
+			}
+		}(topology.NodeID(g))
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

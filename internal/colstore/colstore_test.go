@@ -1,0 +1,282 @@
+package colstore
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"eris/internal/mem"
+	"eris/internal/numasim"
+	"eris/internal/topology"
+)
+
+type fixture struct {
+	machine *numasim.Machine
+	sys     *mem.System
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	machine, err := numasim.New(topology.Intel(), numasim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{machine: machine, sys: mem.NewSystem(machine)}
+}
+
+func (f *fixture) local(node topology.NodeID, chunkEntries int) *Column {
+	return NewLocal(f.machine, Config{ChunkEntries: chunkEntries}, f.sys.Node(node))
+}
+
+func seq(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i)
+	}
+	return out
+}
+
+func TestAppendScanRoundtrip(t *testing.T) {
+	f := newFixture(t)
+	col := f.local(0, 16)
+	col.Append(0, seq(100)) // spans several chunks
+	if got := col.Count(); got != 100 {
+		t.Fatalf("count = %d", got)
+	}
+	got := col.Values(0, col.Snapshot())
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("value[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	f := newFixture(t)
+	col := f.local(0, 16)
+	col.Append(0, seq(50))
+	snap := col.Snapshot()
+	col.Append(0, seq(50))
+	if n := col.Scan(0, snap, nil); n != 50 {
+		t.Fatalf("scan at old snapshot saw %d entries, want 50", n)
+	}
+	if n := col.Scan(0, col.Snapshot(), nil); n != 100 {
+		t.Fatalf("scan at new snapshot saw %d entries, want 100", n)
+	}
+}
+
+func TestScanFiltered(t *testing.T) {
+	f := newFixture(t)
+	col := f.local(0, 32)
+	col.Append(0, seq(100))
+	cases := []struct {
+		p           Predicate
+		matched     int64
+		sumExpected bool
+		sum         uint64
+	}{
+		{Predicate{Op: All}, 100, true, 4950},
+		{Predicate{Op: Less, Operand: 10}, 10, true, 45},
+		{Predicate{Op: Greater, Operand: 97}, 2, true, 98 + 99},
+		{Predicate{Op: Equal, Operand: 42}, 1, true, 42},
+		{Predicate{Op: Between, Operand: 10, High: 19}, 10, true, 145},
+	}
+	for _, c := range cases {
+		res := col.ScanFiltered(0, col.Snapshot(), c.p)
+		if res.Scanned != 100 || res.Matched != c.matched || res.Sum != c.sum {
+			t.Errorf("pred %+v: %+v", c.p, res)
+		}
+	}
+}
+
+func TestScanChargesBandwidth(t *testing.T) {
+	f := newFixture(t)
+	col := f.local(2, 1024)
+	col.Append(20, seq(4096)) // core 20 is on node 2: local append
+	e := f.machine.StartEpoch()
+	col.Scan(20, col.Snapshot(), nil)
+	if got := e.MCBytes(2); got != 4096*8 {
+		t.Errorf("MC bytes = %d, want %d", got, 4096*8)
+	}
+	if got := e.TotalLinkBytes(); got != 0 {
+		t.Errorf("local scan produced %d link bytes", got)
+	}
+	// Remote scan crosses links.
+	e2 := f.machine.StartEpoch()
+	col.Scan(0, col.Snapshot(), nil) // core 0 on node 0
+	if got := e2.TotalLinkBytes(); got != 4096*8 {
+		t.Errorf("remote scan link bytes = %d", got)
+	}
+}
+
+func TestDetachTailWholeChunks(t *testing.T) {
+	f := newFixture(t)
+	col := f.local(0, 10)
+	col.Append(0, seq(40))
+	d := col.DetachTail(0, 20)
+	if d.Count() != 20 || col.Count() != 20 {
+		t.Fatalf("detach: moved %d, left %d", d.Count(), col.Count())
+	}
+	// Remaining values unchanged.
+	for i, v := range col.Values(0, col.Snapshot()) {
+		if v != uint64(i) {
+			t.Fatalf("kept value[%d] = %d", i, v)
+		}
+	}
+	// Relink to another column on the same node preserves order.
+	col2 := f.local(0, 10)
+	if err := col2.LinkDetached(0, 0, d); err != nil {
+		t.Fatal(err)
+	}
+	vals := col2.Values(0, col2.Snapshot())
+	for i, v := range vals {
+		if v != uint64(20+i) {
+			t.Fatalf("linked value[%d] = %d, want %d", i, v, 20+i)
+		}
+	}
+}
+
+func TestDetachTailSplitsChunk(t *testing.T) {
+	f := newFixture(t)
+	col := f.local(0, 10)
+	col.Append(0, seq(25))
+	d := col.DetachTail(0, 7) // chunk boundary at 20: moves 5 whole + splits 2
+	if d.Count() != 7 || col.Count() != 18 {
+		t.Fatalf("moved %d, left %d", d.Count(), col.Count())
+	}
+	col2 := f.local(0, 10)
+	if err := col2.LinkDetached(0, 0, d); err != nil {
+		t.Fatal(err)
+	}
+	vals := col2.Values(0, col2.Snapshot())
+	if len(vals) != 7 {
+		t.Fatalf("linked %d values", len(vals))
+	}
+	for i, v := range vals {
+		if v != uint64(18+i) {
+			t.Fatalf("split value[%d] = %d, want %d", i, v, 18+i)
+		}
+	}
+}
+
+func TestDetachMoreThanCount(t *testing.T) {
+	f := newFixture(t)
+	col := f.local(0, 10)
+	col.Append(0, seq(5))
+	d := col.DetachTail(0, 100)
+	if d.Count() != 5 || col.Count() != 0 {
+		t.Fatalf("moved %d, left %d", d.Count(), col.Count())
+	}
+}
+
+func TestLinkDetachedRejectsRemoteChunks(t *testing.T) {
+	f := newFixture(t)
+	col := f.local(0, 10)
+	col.Append(0, seq(10))
+	d := col.DetachTail(0, 10)
+	col2 := f.local(1, 10)
+	if err := col2.LinkDetached(10, 1, d); err == nil {
+		t.Fatal("linking remote chunks did not fail")
+	}
+}
+
+func TestCopyDetachedCrossNode(t *testing.T) {
+	f := newFixture(t)
+	src := f.local(0, 10)
+	src.Append(0, seq(35))
+	d := src.DetachTail(0, 25)
+	dst := f.local(1, 10)
+	e := f.machine.StartEpoch()
+	dst.CopyDetached(10, d, f.sys.Free) // core 10 on node 1
+	if dst.Count() != 25 {
+		t.Fatalf("copied %d", dst.Count())
+	}
+	vals := dst.Values(10, dst.Snapshot())
+	for i, v := range vals {
+		if v != uint64(10+i) {
+			t.Fatalf("copied value[%d] = %d, want %d", i, v, 10+i)
+		}
+	}
+	// The copy must have crossed the interconnect.
+	if e.TotalLinkBytes() == 0 {
+		t.Error("cross-node copy produced no link traffic")
+	}
+	// Source blocks were released.
+	if got := f.sys.Node(0).AllocatedBytes(); got != src.Bytes() {
+		t.Errorf("node 0 allocated %d, want %d (only the retained chunks)", got, src.Bytes())
+	}
+}
+
+func TestReleaseFreesAll(t *testing.T) {
+	f := newFixture(t)
+	col := f.local(0, 10)
+	col.Append(0, seq(100))
+	col.Release()
+	if got := f.sys.Node(0).AllocatedBytes(); got != 0 {
+		t.Errorf("allocated after release = %d", got)
+	}
+	if col.Count() != 0 {
+		t.Errorf("count after release = %d", col.Count())
+	}
+}
+
+func TestDetachLinkProperty(t *testing.T) {
+	f := newFixture(t)
+	check := func(total16, move16 uint16) bool {
+		total := int(total16%500) + 1
+		move := int64(move16) % (int64(total) + 1)
+		col := f.local(0, 13)
+		col.Append(0, seq(total))
+		d := col.DetachTail(0, move)
+		col2 := f.local(0, 13)
+		if err := col2.LinkDetached(0, 0, d); err != nil {
+			return false
+		}
+		if col.Count()+col2.Count() != int64(total) {
+			return false
+		}
+		// Concatenation equals the original sequence.
+		vals := append(col.Values(0, col.Snapshot()), col2.Values(0, col2.Snapshot())...)
+		for i, v := range vals {
+			if v != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSharedScans(t *testing.T) {
+	f := newFixture(t)
+	col := f.local(0, 256)
+	col.Append(0, seq(10000))
+	snapshot := col.Snapshot() // taken before the concurrent appends begin
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(core topology.CoreID) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(core)))
+			for i := 0; i < 20; i++ {
+				res := col.ScanFiltered(core, snapshot, Predicate{Op: Less, Operand: uint64(rng.Intn(10000))})
+				if res.Scanned != 10000 {
+					t.Errorf("scanned %d", res.Scanned)
+					return
+				}
+			}
+		}(topology.CoreID(w))
+	}
+	// Concurrent appends must not disturb snapshot scans.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			col.Append(0, seq(100))
+		}
+	}()
+	wg.Wait()
+}

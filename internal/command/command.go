@@ -1,0 +1,334 @@
+// Package command defines ERIS data commands and their wire format. A data
+// command carries a storage operation (scan, lookup, insert/upsert), the
+// target data object, a correlation tag and reply address for query
+// processing callbacks, and a data segment with the operation's parameters
+// (a batch of keys for a lookup, key/value pairs for an upsert, a predicate
+// for a scan). Commands are binary-encoded because the routing layer's
+// buffers are raw byte arrays guarded by a 64-bit CAS descriptor; the
+// encoded size is also what the simulated machine charges as interconnect
+// traffic when a buffer is flushed to a remote AEU.
+//
+// Balancing commands (new partition bounds plus fetch instructions) travel
+// through the same buffers, as in the paper; bulk partition payloads do
+// not — they move through the dedicated transfer path (see internal/aeu),
+// matching the paper's separate link/copy transfer mechanisms.
+package command
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"eris/internal/colstore"
+	"eris/internal/prefixtree"
+)
+
+// Op identifies the storage operation of a data command.
+type Op uint8
+
+// Data command operations.
+const (
+	// OpInvalid guards against decoding zeroed buffer space.
+	OpInvalid Op = iota
+	// OpLookup carries a batch of keys to look up in an index partition.
+	OpLookup
+	// OpUpsert carries a batch of key/value pairs to insert or overwrite.
+	OpUpsert
+	// OpScan asks for a filtered scan of the AEU's partition (index range
+	// scan when Keys holds [lo, hi], full column scan otherwise).
+	OpScan
+	// OpResult returns matching key/value pairs (or aggregates) to the
+	// requesting AEU's callback.
+	OpResult
+	// OpBalance tells an AEU its new partition bounds and what to fetch.
+	OpBalance
+	// OpFetch asks the receiving AEU to hand a range (or tuple count) of
+	// its partition to the requester via the transfer path.
+	OpFetch
+	numOps
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpLookup:
+		return "lookup"
+	case OpUpsert:
+		return "upsert"
+	case OpScan:
+		return "scan"
+	case OpResult:
+		return "result"
+	case OpBalance:
+		return "balance"
+	case OpFetch:
+		return "fetch"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// NoReply marks a command whose results are consumed at the executing AEU
+// (counted, aggregated into monitors) instead of being routed back.
+const NoReply int32 = -1
+
+// Fetch is one transfer instruction inside a balancing command: take the
+// described part of From's partition.
+type Fetch struct {
+	From uint32
+	Lo   uint64
+	Hi   uint64
+	// Tuples > 0 selects count-based transfer (physical size partitioning,
+	// no order criterion); the range is ignored then.
+	Tuples int64
+}
+
+// Balance is the payload of an OpBalance command.
+type Balance struct {
+	// Epoch identifies the balancing cycle; AEUs ack it so the balancer can
+	// synchronize routing-table updates.
+	Epoch uint64
+	// NewLo/NewHi are the AEU's new inclusive partition bounds.
+	NewLo, NewHi uint64
+	// Fetches says where missing data comes from.
+	Fetches []Fetch
+}
+
+// Command is one data command.
+type Command struct {
+	Op      Op
+	Object  uint32
+	Source  uint32 // issuing AEU
+	ReplyTo int32  // AEU to route results to; NoReply for none
+	Tag     uint64 // correlation id for callbacks
+
+	// Keys is the lookup batch, or [lo, hi] bounds for an index range scan.
+	Keys []uint64
+	// KVs is the upsert batch or the result payload.
+	KVs []prefixtree.KV
+	// Pred is the scan predicate.
+	Pred colstore.Predicate
+	// Limit asks an index scan to return up to Limit matching rows as
+	// key/value pairs instead of an aggregate (0 = aggregate only). This
+	// is the query-processing primitive that materializes intermediate
+	// results through the routing layer.
+	Limit uint32
+	// Balance is the balancing payload (OpBalance only).
+	Balance *Balance
+	// Fetch is the fetch payload (OpFetch only).
+	Fetch *Fetch
+}
+
+const headerBytes = 1 + 4 + 4 + 4 + 8 + 4 // op, object, source, replyTo, tag, payload len
+
+// EncodedSize returns the exact number of bytes AppendEncode will add.
+func (c *Command) EncodedSize() int {
+	return headerBytes + c.payloadSize()
+}
+
+func (c *Command) payloadSize() int {
+	switch c.Op {
+	case OpLookup:
+		return 4 + 8*len(c.Keys)
+	case OpUpsert, OpResult:
+		return 4 + 16*len(c.KVs)
+	case OpScan:
+		return 1 + 8 + 8 + 4 + 4 + 8*len(c.Keys)
+	case OpBalance:
+		n := 8 + 8 + 8 + 4
+		if c.Balance != nil {
+			n += len(c.Balance.Fetches) * (4 + 8 + 8 + 8)
+		}
+		return n
+	case OpFetch:
+		return 4 + 8 + 8 + 8
+	default:
+		return 0
+	}
+}
+
+// AppendEncode appends the wire form of the command to buf.
+func (c *Command) AppendEncode(buf []byte) []byte {
+	buf = append(buf, byte(c.Op))
+	buf = binary.LittleEndian.AppendUint32(buf, c.Object)
+	buf = binary.LittleEndian.AppendUint32(buf, c.Source)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.ReplyTo))
+	buf = binary.LittleEndian.AppendUint64(buf, c.Tag)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.payloadSize()))
+	switch c.Op {
+	case OpLookup:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Keys)))
+		for _, k := range c.Keys {
+			buf = binary.LittleEndian.AppendUint64(buf, k)
+		}
+	case OpUpsert, OpResult:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.KVs)))
+		for _, kv := range c.KVs {
+			buf = binary.LittleEndian.AppendUint64(buf, kv.Key)
+			buf = binary.LittleEndian.AppendUint64(buf, kv.Value)
+		}
+	case OpScan:
+		buf = append(buf, byte(c.Pred.Op))
+		buf = binary.LittleEndian.AppendUint64(buf, c.Pred.Operand)
+		buf = binary.LittleEndian.AppendUint64(buf, c.Pred.High)
+		buf = binary.LittleEndian.AppendUint32(buf, c.Limit)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Keys)))
+		for _, k := range c.Keys {
+			buf = binary.LittleEndian.AppendUint64(buf, k)
+		}
+	case OpBalance:
+		b := c.Balance
+		if b == nil {
+			b = &Balance{}
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, b.Epoch)
+		buf = binary.LittleEndian.AppendUint64(buf, b.NewLo)
+		buf = binary.LittleEndian.AppendUint64(buf, b.NewHi)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Fetches)))
+		for _, f := range b.Fetches {
+			buf = binary.LittleEndian.AppendUint32(buf, f.From)
+			buf = binary.LittleEndian.AppendUint64(buf, f.Lo)
+			buf = binary.LittleEndian.AppendUint64(buf, f.Hi)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Tuples))
+		}
+	case OpFetch:
+		f := c.Fetch
+		if f == nil {
+			f = &Fetch{}
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, f.From)
+		buf = binary.LittleEndian.AppendUint64(buf, f.Lo)
+		buf = binary.LittleEndian.AppendUint64(buf, f.Hi)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Tuples))
+	}
+	return buf
+}
+
+// Errors returned by Decode.
+var (
+	ErrTruncated = errors.New("command: truncated buffer")
+	ErrBadOp     = errors.New("command: invalid operation")
+)
+
+// Decode parses one command from the front of buf, returning it and the
+// number of bytes consumed.
+func Decode(buf []byte) (Command, int, error) {
+	if len(buf) < headerBytes {
+		return Command{}, 0, ErrTruncated
+	}
+	var c Command
+	c.Op = Op(buf[0])
+	if c.Op == OpInvalid || c.Op >= numOps {
+		return Command{}, 0, fmt.Errorf("%w: %d", ErrBadOp, buf[0])
+	}
+	c.Object = binary.LittleEndian.Uint32(buf[1:])
+	c.Source = binary.LittleEndian.Uint32(buf[5:])
+	c.ReplyTo = int32(binary.LittleEndian.Uint32(buf[9:]))
+	c.Tag = binary.LittleEndian.Uint64(buf[13:])
+	plen := int(binary.LittleEndian.Uint32(buf[21:]))
+	if len(buf) < headerBytes+plen {
+		return Command{}, 0, ErrTruncated
+	}
+	p := buf[headerBytes : headerBytes+plen]
+	switch c.Op {
+	case OpLookup:
+		n, rest, err := decodeCount(p, 8)
+		if err != nil {
+			return Command{}, 0, err
+		}
+		c.Keys = make([]uint64, n)
+		for i := range c.Keys {
+			c.Keys[i] = binary.LittleEndian.Uint64(rest[8*i:])
+		}
+	case OpUpsert, OpResult:
+		n, rest, err := decodeCount(p, 16)
+		if err != nil {
+			return Command{}, 0, err
+		}
+		c.KVs = make([]prefixtree.KV, n)
+		for i := range c.KVs {
+			c.KVs[i].Key = binary.LittleEndian.Uint64(rest[16*i:])
+			c.KVs[i].Value = binary.LittleEndian.Uint64(rest[16*i+8:])
+		}
+	case OpScan:
+		if len(p) < 1+8+8+4+4 {
+			return Command{}, 0, ErrTruncated
+		}
+		c.Pred.Op = colstore.PredicateOp(p[0])
+		c.Pred.Operand = binary.LittleEndian.Uint64(p[1:])
+		c.Pred.High = binary.LittleEndian.Uint64(p[9:])
+		c.Limit = binary.LittleEndian.Uint32(p[17:])
+		n := int(binary.LittleEndian.Uint32(p[21:]))
+		rest := p[25:]
+		if len(rest) < 8*n {
+			return Command{}, 0, ErrTruncated
+		}
+		c.Keys = make([]uint64, n)
+		for i := range c.Keys {
+			c.Keys[i] = binary.LittleEndian.Uint64(rest[8*i:])
+		}
+	case OpBalance:
+		if len(p) < 8+8+8+4 {
+			return Command{}, 0, ErrTruncated
+		}
+		b := &Balance{
+			Epoch: binary.LittleEndian.Uint64(p[0:]),
+			NewLo: binary.LittleEndian.Uint64(p[8:]),
+			NewHi: binary.LittleEndian.Uint64(p[16:]),
+		}
+		n := int(binary.LittleEndian.Uint32(p[24:]))
+		rest := p[28:]
+		if len(rest) < n*(4+8+8+8) {
+			return Command{}, 0, ErrTruncated
+		}
+		b.Fetches = make([]Fetch, n)
+		for i := range b.Fetches {
+			o := i * 28
+			b.Fetches[i] = Fetch{
+				From:   binary.LittleEndian.Uint32(rest[o:]),
+				Lo:     binary.LittleEndian.Uint64(rest[o+4:]),
+				Hi:     binary.LittleEndian.Uint64(rest[o+12:]),
+				Tuples: int64(binary.LittleEndian.Uint64(rest[o+20:])),
+			}
+		}
+		c.Balance = b
+	case OpFetch:
+		if len(p) < 28 {
+			return Command{}, 0, ErrTruncated
+		}
+		c.Fetch = &Fetch{
+			From:   binary.LittleEndian.Uint32(p[0:]),
+			Lo:     binary.LittleEndian.Uint64(p[4:]),
+			Hi:     binary.LittleEndian.Uint64(p[12:]),
+			Tuples: int64(binary.LittleEndian.Uint64(p[20:])),
+		}
+	}
+	return c, headerBytes + plen, nil
+}
+
+func decodeCount(p []byte, elem int) (int, []byte, error) {
+	if len(p) < 4 {
+		return 0, nil, ErrTruncated
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	rest := p[4:]
+	if len(rest) < n*elem {
+		return 0, nil, ErrTruncated
+	}
+	return n, rest, nil
+}
+
+// DecodeAll parses every command in buf, calling fn for each; it stops with
+// an error on corruption.
+func DecodeAll(buf []byte, fn func(Command) error) error {
+	for len(buf) > 0 {
+		c, n, err := Decode(buf)
+		if err != nil {
+			return err
+		}
+		if err := fn(c); err != nil {
+			return err
+		}
+		buf = buf[n:]
+	}
+	return nil
+}

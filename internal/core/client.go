@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"eris/internal/aeu"
+	"eris/internal/colstore"
+	"eris/internal/command"
+	"eris/internal/prefixtree"
+	"eris/internal/routing"
+)
+
+// pendingOp tracks one synchronous client request across the AEUs serving
+// its pieces.
+type pendingOp struct {
+	want int
+	got  int
+	kvs  []prefixtree.KV
+	done chan struct{}
+}
+
+// deliverClientResult is installed as every AEU's client callback.
+func (e *Engine) deliverClientResult(tag uint64, from uint32, kvs []prefixtree.KV) {
+	e.clientMu.Lock()
+	defer e.clientMu.Unlock()
+	p := e.pending[tag]
+	if p == nil {
+		return // late result after timeout
+	}
+	p.kvs = append(p.kvs, kvs...)
+	p.got++
+	if p.got >= p.want {
+		delete(e.pending, tag)
+		close(p.done)
+	}
+}
+
+func (e *Engine) newPending(want int) (uint64, *pendingOp) {
+	e.clientMu.Lock()
+	defer e.clientMu.Unlock()
+	e.nextTag++
+	p := &pendingOp{want: want, done: make(chan struct{})}
+	e.pending[e.nextTag] = p
+	return e.nextTag, p
+}
+
+func (e *Engine) cancelPending(tag uint64) {
+	e.clientMu.Lock()
+	defer e.clientMu.Unlock()
+	delete(e.pending, tag)
+}
+
+// clientTimeout bounds synchronous client calls; the engine is in-process,
+// so a stall means a bug, not a slow network.
+const clientTimeout = 30 * time.Second
+
+// Lookup synchronously looks up keys in an index object and returns the
+// found pairs. The engine must be started.
+func (e *Engine) Lookup(id routing.ObjectID, keys []uint64) ([]prefixtree.KV, error) {
+	if !e.started {
+		return nil, fmt.Errorf("core: Lookup before Start")
+	}
+	meta := e.objects[id]
+	if meta == nil || meta.kind != routing.RangePartitioned {
+		return nil, fmt.Errorf("core: object %d is not an index", id)
+	}
+	// Split by owner (the client does its own routing-table lookup).
+	byOwner := make(map[uint32][]uint64)
+	for _, k := range keys {
+		if k >= meta.domain {
+			return nil, fmt.Errorf("core: key %d outside domain %d", k, meta.domain)
+		}
+		o := e.router.Owner(id, k)
+		byOwner[o] = append(byOwner[o], k)
+	}
+	if len(byOwner) == 0 {
+		return nil, nil
+	}
+	tag, p := e.newPending(len(byOwner))
+	for owner, ks := range byOwner {
+		e.router.Inject(owner, &command.Command{
+			Op: command.OpLookup, Object: uint32(id), Source: owner,
+			ReplyTo: aeu.ClientReply, Tag: tag, Keys: ks,
+		})
+	}
+	if err := e.await(p, tag); err != nil {
+		return nil, err
+	}
+	sort.Slice(p.kvs, func(i, j int) bool { return p.kvs[i].Key < p.kvs[j].Key })
+	return p.kvs, nil
+}
+
+// Upsert synchronously inserts or overwrites pairs in an index object.
+func (e *Engine) Upsert(id routing.ObjectID, kvs []prefixtree.KV) error {
+	if !e.started {
+		return fmt.Errorf("core: Upsert before Start")
+	}
+	meta := e.objects[id]
+	if meta == nil || meta.kind != routing.RangePartitioned {
+		return fmt.Errorf("core: object %d is not an index", id)
+	}
+	byOwner := make(map[uint32][]prefixtree.KV)
+	for _, kv := range kvs {
+		if kv.Key >= meta.domain {
+			return fmt.Errorf("core: key %d outside domain %d", kv.Key, meta.domain)
+		}
+		o := e.router.Owner(id, kv.Key)
+		byOwner[o] = append(byOwner[o], kv)
+	}
+	if len(byOwner) == 0 {
+		return nil
+	}
+	tag, p := e.newPending(len(byOwner))
+	for owner, part := range byOwner {
+		e.router.Inject(owner, &command.Command{
+			Op: command.OpUpsert, Object: uint32(id), Source: owner,
+			ReplyTo: aeu.ClientReply, Tag: tag, KVs: part,
+		})
+	}
+	return e.await(p, tag)
+}
+
+// ScanAggregate is the result of a synchronous scan: how many values
+// matched the predicate and their (wrapping) sum.
+type ScanAggregate struct {
+	Matched uint64
+	Sum     uint64
+}
+
+// Scan synchronously runs a filtered scan over a column object, aggregating
+// across all partitions.
+func (e *Engine) Scan(id routing.ObjectID, pred colstore.Predicate) (ScanAggregate, error) {
+	var agg ScanAggregate
+	if !e.started {
+		return agg, fmt.Errorf("core: Scan before Start")
+	}
+	meta := e.objects[id]
+	if meta == nil {
+		return agg, fmt.Errorf("core: unknown object %d", id)
+	}
+	var targets []uint32
+	var bounds []uint64
+	if meta.kind == routing.SizePartitioned {
+		targets = e.router.Holders(id, nil)
+	} else {
+		// Index range scan over the full domain.
+		for _, en := range e.router.OwnerEntries(id) {
+			targets = append(targets, en.Owner)
+		}
+		bounds = []uint64{0, meta.domain - 1}
+	}
+	if len(targets) == 0 {
+		return agg, nil
+	}
+	tag, p := e.newPending(len(targets))
+	for _, owner := range targets {
+		e.router.Inject(owner, &command.Command{
+			Op: command.OpScan, Object: uint32(id), Source: owner,
+			ReplyTo: aeu.ClientReply, Tag: tag, Pred: pred, Keys: bounds,
+		})
+	}
+	if err := e.await(p, tag); err != nil {
+		return agg, err
+	}
+	for _, kv := range p.kvs {
+		agg.Matched += kv.Key
+		agg.Sum += kv.Value
+	}
+	return agg, nil
+}
+
+// ScanRange synchronously scans an index object over [lo, hi] (inclusive),
+// aggregating values matching pred.
+func (e *Engine) ScanRange(id routing.ObjectID, lo, hi uint64, pred colstore.Predicate) (ScanAggregate, error) {
+	var agg ScanAggregate
+	if !e.started {
+		return agg, fmt.Errorf("core: ScanRange before Start")
+	}
+	meta := e.objects[id]
+	if meta == nil || meta.kind != routing.RangePartitioned {
+		return agg, fmt.Errorf("core: object %d is not an index", id)
+	}
+	entries := e.router.OwnerEntries(id)
+	var targets []uint32
+	seen := map[uint32]bool{}
+	for _, en := range entries {
+		if !seen[en.Owner] {
+			targets = append(targets, en.Owner)
+			seen[en.Owner] = true
+		}
+	}
+	tag, p := e.newPending(len(targets))
+	for _, owner := range targets {
+		e.router.Inject(owner, &command.Command{
+			Op: command.OpScan, Object: uint32(id), Source: owner,
+			ReplyTo: aeu.ClientReply, Tag: tag, Pred: pred, Keys: []uint64{lo, hi},
+		})
+	}
+	if err := e.await(p, tag); err != nil {
+		return agg, err
+	}
+	for _, kv := range p.kvs {
+		agg.Matched += kv.Key
+		agg.Sum += kv.Value
+	}
+	return agg, nil
+}
+
+// ScanRangeRows materializes up to limit matching rows of an index range
+// scan over [lo, hi] (inclusive), sorted by key — the query-processing
+// primitive for intermediate results.
+func (e *Engine) ScanRangeRows(id routing.ObjectID, lo, hi uint64, pred colstore.Predicate, limit int) ([]prefixtree.KV, error) {
+	if !e.started {
+		return nil, fmt.Errorf("core: ScanRangeRows before Start")
+	}
+	if limit <= 0 {
+		return nil, fmt.Errorf("core: ScanRangeRows needs a positive limit")
+	}
+	meta := e.objects[id]
+	if meta == nil || meta.kind != routing.RangePartitioned {
+		return nil, fmt.Errorf("core: object %d is not an index", id)
+	}
+	entries := e.router.OwnerEntries(id)
+	targets := make([]uint32, 0, len(entries))
+	seen := map[uint32]bool{}
+	for _, en := range entries {
+		if !seen[en.Owner] {
+			targets = append(targets, en.Owner)
+			seen[en.Owner] = true
+		}
+	}
+	tag, p := e.newPending(len(targets))
+	for _, owner := range targets {
+		e.router.Inject(owner, &command.Command{
+			Op: command.OpScan, Object: uint32(id), Source: owner,
+			ReplyTo: aeu.ClientReply, Tag: tag, Pred: pred,
+			Keys: []uint64{lo, hi}, Limit: uint32(limit),
+		})
+	}
+	if err := e.await(p, tag); err != nil {
+		return nil, err
+	}
+	sort.Slice(p.kvs, func(i, j int) bool { return p.kvs[i].Key < p.kvs[j].Key })
+	if len(p.kvs) > limit {
+		p.kvs = p.kvs[:limit]
+	}
+	return p.kvs, nil
+}
+
+func (e *Engine) await(p *pendingOp, tag uint64) error {
+	select {
+	case <-p.done:
+		return nil
+	case <-time.After(clientTimeout):
+		e.cancelPending(tag)
+		return fmt.Errorf("core: client request %d timed out", tag)
+	}
+}

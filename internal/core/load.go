@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"eris/internal/prefixtree"
+	"eris/internal/routing"
+)
+
+// LoadIndexDense bulk-loads the dense key domain [0, n) into an index
+// object before Start, writing each key directly into its owning AEU's
+// partition (charged to that AEU's core, modeling a parallel load).
+// valueOf(nil) uses the identity value.
+func (e *Engine) LoadIndexDense(id routing.ObjectID, n uint64, valueOf func(key uint64) uint64) error {
+	if e.started {
+		return fmt.Errorf("core: load after Start")
+	}
+	meta := e.objects[id]
+	if meta == nil || meta.kind != routing.RangePartitioned {
+		return fmt.Errorf("core: object %d is not an index", id)
+	}
+	if n > meta.domain {
+		return fmt.Errorf("core: loading %d keys into domain %d", n, meta.domain)
+	}
+	if valueOf == nil {
+		valueOf = func(k uint64) uint64 { return k }
+	}
+	const batch = 256
+	kvs := make([]prefixtree.KV, 0, batch)
+	for _, a := range e.aeus {
+		p := a.Partition(id)
+		lo, hi := p.Lo, p.Hi
+		if lo >= n {
+			continue
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		for k := lo; ; k += batch {
+			kvs = kvs[:0]
+			end := k + batch
+			if end > hi+1 {
+				end = hi + 1
+			}
+			for kk := k; kk < end; kk++ {
+				kvs = append(kvs, prefixtree.KV{Key: kk, Value: valueOf(kk)})
+			}
+			p.Tree.UpsertBatch(a.Core, kvs)
+			if end > hi {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// LoadColumnUniform bulk-loads tuplesPerAEU values into every AEU's column
+// partition before Start. valueOf(nil) produces a deterministic pseudo-
+// random value per position.
+func (e *Engine) LoadColumnUniform(id routing.ObjectID, tuplesPerAEU int64, valueOf func(aeu int, i int64) uint64) error {
+	if e.started {
+		return fmt.Errorf("core: load after Start")
+	}
+	meta := e.objects[id]
+	if meta == nil || meta.kind != routing.SizePartitioned {
+		return fmt.Errorf("core: object %d is not a column", id)
+	}
+	if valueOf == nil {
+		valueOf = func(aeu int, i int64) uint64 {
+			x := uint64(aeu)<<32 ^ uint64(i)
+			x ^= x >> 33
+			x *= 0xff51afd7ed558ccd
+			x ^= x >> 33
+			return x
+		}
+	}
+	const batch = 4096
+	buf := make([]uint64, batch)
+	for idx, a := range e.aeus {
+		p := a.Partition(id)
+		var done int64
+		for done < tuplesPerAEU {
+			m := int64(batch)
+			if tuplesPerAEU-done < m {
+				m = tuplesPerAEU - done
+			}
+			for i := int64(0); i < m; i++ {
+				buf[i] = valueOf(idx, done+i)
+			}
+			p.Col.Append(a.Core, buf[:m])
+			done += m
+		}
+	}
+	return nil
+}

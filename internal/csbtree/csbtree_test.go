@@ -1,0 +1,193 @@
+package csbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func uniformEntries(n int) []Entry {
+	entries := make([]Entry, n)
+	span := ^uint64(0) / uint64(n)
+	for i := range entries {
+		entries[i] = Entry{Low: uint64(i) * span, Owner: uint32(i)}
+	}
+	entries[0].Low = 0
+	return entries
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Build([]Entry{{Low: 5}}); err == nil {
+		t.Error("non-zero first Low accepted")
+	}
+	if _, err := Build([]Entry{{Low: 0}, {Low: 10}, {Low: 10}}); err == nil {
+		t.Error("duplicate Low accepted")
+	}
+	if _, err := Build([]Entry{{Low: 0}, {Low: 10}, {Low: 5}}); err == nil {
+		t.Error("unsorted entries accepted")
+	}
+}
+
+func TestLookupSingleEntry(t *testing.T) {
+	tr := MustBuild([]Entry{{Low: 0, Owner: 7}})
+	for _, k := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+		if got := tr.Lookup(k); got != 7 {
+			t.Errorf("Lookup(%d) = %d", k, got)
+		}
+	}
+}
+
+func TestLookupBoundaries(t *testing.T) {
+	entries := []Entry{{0, 0}, {100, 1}, {200, 2}, {300, 3}}
+	tr := MustBuild(entries)
+	cases := []struct {
+		key  uint64
+		want uint32
+	}{
+		{0, 0}, {99, 0}, {100, 1}, {101, 1}, {199, 1}, {200, 2}, {299, 2}, {300, 3}, {1 << 50, 3},
+	}
+	for _, c := range cases {
+		if got := tr.Lookup(c.key); got != c.want {
+			t.Errorf("Lookup(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestLookupEntryBounds(t *testing.T) {
+	tr := MustBuild([]Entry{{0, 0}, {100, 1}, {200, 2}})
+	e, hi := tr.LookupEntry(150)
+	if e.Owner != 1 || e.Low != 100 || hi != 200 {
+		t.Errorf("LookupEntry(150) = %+v, hi=%d", e, hi)
+	}
+	_, hi = tr.LookupEntry(500)
+	if hi != ^uint64(0) {
+		t.Errorf("last range upper bound = %d", hi)
+	}
+}
+
+func TestLargeTableAgainstFlat(t *testing.T) {
+	for _, n := range []int{1, 2, 14, 15, 16, 100, 512, 1000, 5000} {
+		entries := uniformEntries(n)
+		tr := MustBuild(entries)
+		fl, err := BuildFlat(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < 2000; i++ {
+			k := rng.Uint64()
+			if got, want := tr.Lookup(k), fl.Lookup(k); got != want {
+				t.Fatalf("n=%d: Lookup(%d) = %d, want %d", n, k, got, want)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if n > 100 && tr.Height() == 0 {
+			t.Errorf("n=%d: tree degenerated to height 0", n)
+		}
+	}
+}
+
+func TestRandomBoundariesProperty(t *testing.T) {
+	check := func(raw []uint64) bool {
+		lows := map[uint64]bool{0: true}
+		for _, r := range raw {
+			lows[r] = true
+		}
+		entries := make([]Entry, 0, len(lows))
+		for low := range lows {
+			entries = append(entries, Entry{Low: low, Owner: uint32(len(entries))})
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Low < entries[j].Low })
+		for i := range entries {
+			entries[i].Owner = uint32(i)
+		}
+		tr, err := Build(entries)
+		if err != nil {
+			return false
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	entries := []Entry{{0, 0}, {100, 1}, {200, 2}, {300, 3}}
+	tr := MustBuild(entries)
+	got := tr.Range(nil, 150, 250)
+	if len(got) != 2 || got[0].Owner != 1 || got[1].Owner != 2 {
+		t.Errorf("Range(150,250) = %+v", got)
+	}
+	got = tr.Range(nil, 0, ^uint64(0))
+	if len(got) != 4 {
+		t.Errorf("full range returned %d entries", len(got))
+	}
+	got = tr.Range(nil, 100, 100)
+	if len(got) != 1 || got[0].Owner != 1 {
+		t.Errorf("point range = %+v", got)
+	}
+	if got := tr.Range(nil, 10, 5); got != nil {
+		t.Errorf("inverted range = %+v", got)
+	}
+	// Range starting inside an entry includes that entry.
+	got = tr.Range(nil, 250, 260)
+	if len(got) != 1 || got[0].Owner != 2 {
+		t.Errorf("inner range = %+v", got)
+	}
+}
+
+func TestRangeMatchesFlat(t *testing.T) {
+	entries := uniformEntries(333)
+	tr := MustBuild(entries)
+	fl, _ := BuildFlat(entries)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		if a > b {
+			a, b = b, a
+		}
+		g1 := tr.Range(nil, a, b)
+		g2 := fl.Range(nil, a, b)
+		if len(g1) != len(g2) {
+			t.Fatalf("Range(%d,%d): tree %d entries, flat %d", a, b, len(g1), len(g2))
+		}
+		for j := range g1 {
+			if g1[j] != g2[j] {
+				t.Fatalf("Range(%d,%d)[%d]: %+v vs %+v", a, b, j, g1[j], g2[j])
+			}
+		}
+	}
+}
+
+func BenchmarkTreeLookup(b *testing.B) {
+	tr := MustBuild(uniformEntries(512))
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(keys[i&1023])
+	}
+}
+
+func BenchmarkFlatLookup(b *testing.B) {
+	fl, _ := BuildFlat(uniformEntries(512))
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.Lookup(keys[i&1023])
+	}
+}

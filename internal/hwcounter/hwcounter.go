@@ -1,0 +1,109 @@
+// Package hwcounter is the software analogue of the hardware
+// instrumentation the paper uses (likwid on Intel/AMD, linkstat-uv and
+// VampirTrace on SGI): it snapshots the simulated machine's interconnect
+// and memory-controller byte counters and the LLC simulator's hit/miss and
+// MESIF-state counters over a measurement window, and renders the
+// Figure 10/11/12 style reports.
+package hwcounter
+
+import (
+	"fmt"
+	"strings"
+
+	"eris/internal/cache"
+	"eris/internal/numasim"
+)
+
+// Session is an open measurement window.
+type Session struct {
+	machine *numasim.Machine
+	epoch   *numasim.Epoch
+	cache0  cache.Stats
+}
+
+// Start opens a window over machine's counters.
+func Start(machine *numasim.Machine) *Session {
+	s := &Session{machine: machine, epoch: machine.StartEpoch()}
+	if cs := machine.Cache(); cs != nil {
+		s.cache0 = cs.TotalStats()
+	}
+	return s
+}
+
+// Epoch exposes the underlying epoch for custom queries.
+func (s *Session) Epoch() *numasim.Epoch { return s.epoch }
+
+// Report closes the window (logically; the session can keep being read)
+// and returns the counter deltas.
+func (s *Session) Report() Report {
+	r := Report{
+		DurationSec: s.epoch.Duration(),
+		Ops:         s.epoch.Ops(),
+		LinkBytes:   s.epoch.TotalLinkBytes(),
+		MCBytes:     s.epoch.TotalMCBytes(),
+		BoundBy:     s.epoch.BoundBy(),
+	}
+	if r.DurationSec > 0 {
+		r.Throughput = float64(r.Ops) / r.DurationSec
+		r.LinkGBs = float64(r.LinkBytes) / r.DurationSec / 1e9
+		r.MCGBs = float64(r.MCBytes) / r.DurationSec / 1e9
+	}
+	if cs := s.machine.Cache(); cs != nil {
+		now := cs.TotalStats()
+		r.HasCache = true
+		r.Cache = diffCache(s.cache0, now)
+	}
+	return r
+}
+
+func diffCache(a, b cache.Stats) cache.Stats {
+	var d cache.Stats
+	d.Accesses = b.Accesses - a.Accesses
+	d.Misses = b.Misses - a.Misses
+	d.FromCache = b.FromCache - a.FromCache
+	d.FromMemory = b.FromMemory - a.FromMemory
+	d.Writebacks = b.Writebacks - a.Writebacks
+	for i := range d.HitsByState {
+		d.HitsByState[i] = b.HitsByState[i] - a.HitsByState[i]
+	}
+	return d
+}
+
+// Report is the counter summary of one window.
+type Report struct {
+	DurationSec float64
+	Ops         int64
+	Throughput  float64
+	LinkBytes   int64
+	LinkGBs     float64 // aggregate interconnect transfer rate (Figure 12)
+	MCBytes     int64
+	MCGBs       float64 // aggregate memory controller rate (Figure 12)
+	BoundBy     string
+	HasCache    bool
+	Cache       cache.Stats
+}
+
+// MissRatio returns the LLC miss ratio of the window (Figure 10).
+func (r Report) MissRatio() float64 { return r.Cache.MissRatio() }
+
+// HitShare returns the fraction of LLC hits in the given MESIF states
+// (Figure 11).
+func (r Report) HitShare(states ...cache.State) float64 {
+	return r.Cache.HitStateShare(states...)
+}
+
+// String renders a compact likwid-style report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "duration      %12.6f s (bound by %s)\n", r.DurationSec, r.BoundBy)
+	fmt.Fprintf(&b, "operations    %12d (%.3e ops/s)\n", r.Ops, r.Throughput)
+	fmt.Fprintf(&b, "link traffic  %12d B (%7.2f GB/s)\n", r.LinkBytes, r.LinkGBs)
+	fmt.Fprintf(&b, "mem ctrl      %12d B (%7.2f GB/s)\n", r.MCBytes, r.MCGBs)
+	if r.HasCache {
+		fmt.Fprintf(&b, "LLC           %12d accesses, miss ratio %.3f\n", r.Cache.Accesses, r.MissRatio())
+		fmt.Fprintf(&b, "  hits by state: M %.1f%%  E %.1f%%  S %.1f%%  F %.1f%%\n",
+			100*r.HitShare(cache.Modified), 100*r.HitShare(cache.Exclusive),
+			100*r.HitShare(cache.Shared), 100*r.HitShare(cache.Forward))
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package hwcounter
+
+import (
+	"strings"
+	"testing"
+
+	"eris/internal/cache"
+	"eris/internal/numasim"
+	"eris/internal/topology"
+)
+
+func TestSessionReport(t *testing.T) {
+	m, err := numasim.New(topology.Intel(), numasim.Config{CacheScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm traffic before the window must not appear in the report.
+	m.Stream(0, 1, 1000)
+	m.Read(0, 1, m.Alloc(64), 64, 1)
+
+	s := Start(m)
+	addr := m.Alloc(64)
+	m.Read(0, 2, addr, 64, 1) // miss from memory
+	m.Read(0, 2, addr, 64, 1) // hit Exclusive
+	m.Stream(0, 3, 4096)
+	m.CountOps(0, 2)
+	r := s.Report()
+
+	if r.Ops != 2 {
+		t.Errorf("ops = %d", r.Ops)
+	}
+	if r.LinkBytes != 64+4096 {
+		t.Errorf("link bytes = %d", r.LinkBytes)
+	}
+	if r.MCBytes != 64+4096 {
+		t.Errorf("mc bytes = %d", r.MCBytes)
+	}
+	if !r.HasCache {
+		t.Fatal("cache stats missing")
+	}
+	if r.Cache.Accesses != 2 || r.Cache.Misses != 1 {
+		t.Errorf("cache = %+v", r.Cache)
+	}
+	if r.MissRatio() != 0.5 {
+		t.Errorf("miss ratio = %f", r.MissRatio())
+	}
+	if got := r.HitShare(cache.Exclusive); got != 1 {
+		t.Errorf("E share = %f", got)
+	}
+	if r.Throughput <= 0 || r.LinkGBs <= 0 || r.MCGBs <= 0 {
+		t.Errorf("rates: %+v", r)
+	}
+	out := r.String()
+	for _, want := range []string{"duration", "link traffic", "LLC", "hits by state"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSessionWithoutCache(t *testing.T) {
+	m, err := numasim.New(topology.SingleNode(2), numasim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Start(m)
+	m.Stream(0, 0, 100)
+	r := s.Report()
+	if r.HasCache {
+		t.Error("cache report on cache-less machine")
+	}
+	if strings.Contains(r.String(), "LLC") {
+		t.Error("cache lines in report")
+	}
+}

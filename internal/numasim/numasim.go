@@ -1,0 +1,305 @@
+// Package numasim provides the software NUMA machine that the ERIS engine
+// runs on. It substitutes for the real multiprocessor hardware of the paper
+// (which is unreachable from Go: no core pinning, no NUMA allocation
+// control, no PMU access) while preserving the behaviour the paper's
+// evaluation depends on: where bytes move (local vs. remote memory, cache
+// vs. DRAM) and what that costs.
+//
+// Every memory access performed by a worker is charged to its core's
+// *virtual clock*: an LLC hit costs the modeled cache latency, a miss costs
+// the distance-dependent DRAM latency plus the transfer time at the
+// calibrated pair bandwidth (topology.PairCost, taken from the paper's
+// Table 2). Streaming accesses bypass the cache and pay pure bandwidth
+// cost. Bytes are additionally accounted against every interconnect link on
+// the route and against the home node's memory controller; an Epoch's
+// Duration is the maximum of the slowest core's clock advance and the
+// roofline bounds (bytes / capacity) of every link and memory controller.
+// This reproduces who is bound by what: a single-node scan is bound by one
+// memory controller, an interleaved scan by the interconnect links, and a
+// NUMA-aware scan only by the aggregate local bandwidth.
+package numasim
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"eris/internal/cache"
+	"eris/internal/topology"
+)
+
+// Config tunes the simulation.
+type Config struct {
+	// CacheScale divides the modeled LLC capacities; use the same factor
+	// the data set was scaled down by. Zero disables the cache simulator
+	// entirely (every random access pays the DRAM cost).
+	CacheScale float64
+	// LineBytes is the modeled cache line size; default 64.
+	LineBytes int64
+	// MLP is the number of outstanding memory requests a core can overlap
+	// (memory-level parallelism); batched random accesses divide their
+	// latency by min(batch, MLP). Default 10.
+	MLP int
+	// ForwardFactor scales the pair latency for misses serviced by a
+	// remote cache instead of memory (cache-to-cache forwarding is
+	// slightly faster than DRAM). Default 0.9.
+	ForwardFactor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LineBytes == 0 {
+		c.LineBytes = 64
+	}
+	if c.MLP == 0 {
+		c.MLP = 10
+	}
+	if c.ForwardFactor == 0 {
+		c.ForwardFactor = 0.9
+	}
+	return c
+}
+
+// psPerByteFactor converts GB/s into picoseconds per byte:
+// 1 GB/s = 1e9 bytes / 1e12 ps, so ps/byte = 1000 / GBs.
+func psPerByte(gbs float64) float64 { return 1000.0 / gbs }
+
+const psPerNS = 1000
+
+type coreState struct {
+	clock atomic.Int64 // picoseconds
+	ops   atomic.Int64 // completed operations (for throughput accounting)
+	_     [48]byte     // pad to a cache line to avoid false sharing
+}
+
+// Machine is a simulated NUMA multiprocessor system.
+type Machine struct {
+	topo  *topology.Topology
+	cfg   Config
+	cache *cache.System // nil when cache modeling is disabled
+
+	cores     []coreState
+	linkBytes []atomic.Int64 // per link, both directions combined
+	mcBytes   []atomic.Int64 // per node memory controller
+	routeHit  []atomic.Int64 // bytes that stayed local (for reporting)
+
+	nextAddr atomic.Uint64
+}
+
+// New builds a machine over the given topology.
+func New(topo *topology.Topology, cfg Config) (*Machine, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, fmt.Errorf("numasim: %w", err)
+	}
+	cfg = cfg.withDefaults()
+	m := &Machine{
+		topo:      topo,
+		cfg:       cfg,
+		cores:     make([]coreState, topo.NumCores()),
+		linkBytes: make([]atomic.Int64, len(topo.Links)),
+		mcBytes:   make([]atomic.Int64, topo.NumNodes()),
+		routeHit:  make([]atomic.Int64, topo.NumNodes()),
+	}
+	m.nextAddr.Store(uint64(cfg.LineBytes)) // keep address 0 invalid
+	if cfg.CacheScale > 0 {
+		cs, err := cache.New(topo, cfg.CacheScale, cfg.LineBytes)
+		if err != nil {
+			return nil, fmt.Errorf("numasim: %w", err)
+		}
+		m.cache = cs
+	}
+	return m, nil
+}
+
+// Topology returns the machine's topology.
+func (m *Machine) Topology() *topology.Topology { return m.topo }
+
+// Cache returns the LLC simulator, or nil when disabled.
+func (m *Machine) Cache() *cache.System { return m.cache }
+
+// Config returns the effective configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Alloc reserves size bytes of the synthetic physical address space and
+// returns the line-aligned base address. The home node of the range is
+// whatever the caller's allocator decides; the machine only needs addresses
+// to be unique so that the cache simulator never aliases two allocations.
+func (m *Machine) Alloc(size int64) uint64 {
+	if size <= 0 {
+		size = 1
+	}
+	aligned := (uint64(size) + uint64(m.cfg.LineBytes) - 1) &^ (uint64(m.cfg.LineBytes) - 1)
+	return m.nextAddr.Add(aligned) - aligned
+}
+
+// AdvanceNS charges ns nanoseconds of pure compute time to core.
+func (m *Machine) AdvanceNS(core topology.CoreID, ns float64) {
+	if ns > 0 {
+		m.cores[core].clock.Add(int64(ns * psPerNS))
+	}
+}
+
+// CountOps adds n completed operations to core's throughput counter.
+func (m *Machine) CountOps(core topology.CoreID, n int64) {
+	m.cores[core].ops.Add(n)
+}
+
+// Clock returns core's virtual time in picoseconds.
+func (m *Machine) Clock(core topology.CoreID) int64 { return m.cores[core].clock.Load() }
+
+// ClockNS returns core's virtual time in nanoseconds.
+func (m *Machine) ClockNS(core topology.CoreID) float64 {
+	return float64(m.Clock(core)) / psPerNS
+}
+
+// MinClock returns the minimum virtual time over all cores in [first,last).
+// The engine uses it as a soft barrier to bound virtual-time skew between
+// workers.
+func (m *Machine) MinClock(first, last topology.CoreID) int64 {
+	min := int64(math.MaxInt64)
+	for c := first; c < last; c++ {
+		if v := m.cores[c].clock.Load(); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// MaxClock returns the maximum virtual time over all cores.
+func (m *Machine) MaxClock() int64 {
+	var max int64
+	for i := range m.cores {
+		if v := m.cores[i].clock.Load(); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// SyncClockTo lifts core's clock to at least ps (used when a worker waits
+// for an event that happens at a later virtual time).
+func (m *Machine) SyncClockTo(core topology.CoreID, ps int64) {
+	c := &m.cores[core].clock
+	for {
+		cur := c.Load()
+		if cur >= ps || c.CompareAndSwap(cur, ps) {
+			return
+		}
+	}
+}
+
+// chargeRoute accounts bytes on every link between src and home and on the
+// home node's memory controller (when mc is true).
+func (m *Machine) chargeRoute(src, home topology.NodeID, bytes int64, mc bool) {
+	if src == home {
+		m.routeHit[src].Add(bytes)
+	} else {
+		for _, l := range m.topo.Route(src, home) {
+			m.linkBytes[l].Add(bytes)
+		}
+	}
+	if mc {
+		m.mcBytes[home].Add(bytes)
+	}
+}
+
+// Read charges core with one latency-sensitive read of `bytes` bytes at
+// synthetic address addr whose data lives on home. overlap is the number of
+// independent accesses the caller has batched together (1 for a dependent
+// pointer chase); latency is divided by min(overlap, MLP).
+func (m *Machine) Read(core topology.CoreID, home topology.NodeID, addr uint64, bytes int64, overlap int) {
+	m.access(core, home, addr, bytes, overlap, false)
+}
+
+// Write charges core with one latency-sensitive write (read-for-ownership
+// plus store) of `bytes` at addr homed on home.
+func (m *Machine) Write(core topology.CoreID, home topology.NodeID, addr uint64, bytes int64, overlap int) {
+	m.access(core, home, addr, bytes, overlap, true)
+}
+
+func (m *Machine) access(core topology.CoreID, home topology.NodeID, addr uint64, bytes int64, overlap int, write bool) {
+	src := m.topo.NodeOfCore(core)
+	if overlap < 1 {
+		overlap = 1
+	}
+	if overlap > m.cfg.MLP {
+		overlap = m.cfg.MLP
+	}
+	var ps float64
+	if m.cache != nil {
+		ps = m.cachedAccessPS(src, home, addr, bytes, write)
+	} else {
+		cost := m.topo.Cost(src, home)
+		ps = cost.LatencyNS*psPerNS + float64(bytes)*psPerByte(cost.BandwidthGBs)
+		m.chargeRoute(src, home, bytes, true)
+	}
+	// Only the latency component overlaps; we approximate by dividing the
+	// whole per-access cost, which is dominated by latency for the small
+	// transfers random accesses make.
+	m.cores[core].clock.Add(int64(ps / float64(overlap)))
+}
+
+// cachedAccessPS runs the access through the LLC simulator line by line and
+// returns the virtual cost in picoseconds.
+func (m *Machine) cachedAccessPS(src, home topology.NodeID, addr uint64, bytes int64, write bool) float64 {
+	var ps float64
+	lb := m.cfg.LineBytes
+	end := addr + uint64(bytes)
+	for lineAddr := addr &^ uint64(lb-1); lineAddr < end; lineAddr += uint64(lb) {
+		r := m.cache.Access(src, home, lineAddr, write)
+		switch {
+		case r.Hit:
+			ps += m.topo.CacheHitNS * psPerNS
+		case r.FromCache:
+			// Forwarded from another node's cache.
+			var lat float64
+			if r.Source == src {
+				lat = m.topo.CacheHitNS
+			} else {
+				lat = m.topo.Cost(src, r.Source).LatencyNS * m.cfg.ForwardFactor
+				m.chargeRoute(src, r.Source, lb, false)
+			}
+			ps += lat * psPerNS
+		default:
+			cost := m.topo.Cost(src, home)
+			ps += cost.LatencyNS*psPerNS + float64(lb)*psPerByte(cost.BandwidthGBs)
+			m.chargeRoute(src, home, lb, true)
+		}
+		if r.WritebackBytes > 0 {
+			// Dirty evictions drain asynchronously; charge the traffic but
+			// no latency.
+			m.chargeRoute(src, r.WritebackHome, r.WritebackBytes, true)
+		}
+	}
+	return ps
+}
+
+// Stream charges core with a sequential, cache-bypassing transfer of
+// `bytes` from home (a scan or a bulk partition copy). The cost is pure
+// bandwidth at the calibrated pair rate; link and memory-controller bytes
+// are accounted for the roofline.
+func (m *Machine) Stream(core topology.CoreID, home topology.NodeID, bytes int64) {
+	src := m.topo.NodeOfCore(core)
+	cost := m.topo.Cost(src, home)
+	m.cores[core].clock.Add(int64(float64(bytes) * psPerByte(cost.BandwidthGBs)))
+	m.chargeRoute(src, home, bytes, true)
+}
+
+// StreamBetween charges a bulk copy read from srcHome and written to
+// dstHome, driven by core (a cross-node partition transfer). Bytes traverse
+// the route twice conceptually (read + write) but we account each leg once.
+func (m *Machine) StreamBetween(core topology.CoreID, srcHome, dstHome topology.NodeID, bytes int64) {
+	src := m.topo.NodeOfCore(core)
+	read := m.topo.Cost(src, srcHome)
+	write := m.topo.Cost(src, dstHome)
+	// Reads and writes of a copy loop overlap; the slower leg dominates.
+	slower := math.Max(psPerByte(read.BandwidthGBs), psPerByte(write.BandwidthGBs))
+	m.cores[core].clock.Add(int64(float64(bytes) * slower))
+	m.chargeRoute(src, srcHome, bytes, true)
+	m.chargeRoute(src, dstHome, bytes, true)
+}
+
+// RemoteLatencyNS exposes the calibrated pair latency for callers that need
+// to model protocol round trips (e.g. the routing layer's flush handshake).
+func (m *Machine) RemoteLatencyNS(core topology.CoreID, home topology.NodeID) float64 {
+	return m.topo.Cost(m.topo.NodeOfCore(core), home).LatencyNS
+}

@@ -1,0 +1,203 @@
+package routing
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eris/internal/mem"
+)
+
+// Descriptor layout (one uint64, updated with CAS as in the paper):
+//
+//	bit  63     : active — the buffer currently accepts writes
+//	bits 62..31 : offset — bytes appended so far (32 bits)
+//	bits 30..0  : writers — appends in flight (31 bits)
+const (
+	descActive     = uint64(1) << 63
+	descOffsetOne  = uint64(1) << 31
+	descWriterMask = uint64(1)<<31 - 1
+)
+
+func descOffset(d uint64) uint64 { return (d >> 31) & (1<<32 - 1) }
+
+// Backoff tuning for writers blocked on a full or swapping buffer: after
+// spinSpins busy iterations the writer sleeps between retries so that the
+// buffer's owner actually gets CPU time (the simulation host is often a
+// single core), and after overflowSpins total iterations it gives up and
+// diverts to the overflow queue. The queue keeps the system live when an
+// experiment undersizes the incoming buffers; its use is counted so
+// benchmarks can report it.
+const (
+	spinSpins     = 64
+	sleepBackoff  = 20 * time.Microsecond
+	overflowSpins = 1 << 11
+)
+
+// Inbox is one AEU's pair of incoming data command buffers.
+type Inbox struct {
+	bufs     [2][]byte
+	desc     [2]atomic.Uint64
+	writable atomic.Int32
+
+	// Synthetic addresses of the two buffers (homed on the owner's node)
+	// for cost accounting.
+	blocks [2]mem.Block
+
+	overflowMu sync.Mutex
+	overflow   []byte
+
+	// Stats (owner-read).
+	appends   atomic.Int64
+	bytes     atomic.Int64
+	swaps     atomic.Int64
+	overflows atomic.Int64
+	casRetry  atomic.Int64
+}
+
+// newInbox builds an inbox with two size-byte buffers whose backing blocks
+// are allocated on the owner's node manager.
+func newInbox(mgr *mem.Manager, size int) *Inbox {
+	in := &Inbox{}
+	for i := range in.bufs {
+		in.bufs[i] = make([]byte, size)
+		in.blocks[i] = mgr.Alloc(int64(size))
+	}
+	in.desc[0].Store(descActive)
+	return in
+}
+
+// Capacity returns the size of one of the two buffers.
+func (in *Inbox) Capacity() int { return len(in.bufs[0]) }
+
+// Append copies data into the writable buffer using the latch-free
+// descriptor protocol. It returns the buffer index written (-1 when the
+// data was diverted to the overflow queue) and the number of full-buffer
+// wait spins, which the caller charges as virtual wait time (backpressure:
+// a producer blocked on a full remote buffer burns real time on real
+// hardware too).
+func (in *Inbox) Append(data []byte) (int, int) {
+	size := uint64(len(data))
+	if size == 0 {
+		return int(in.writable.Load()), 0
+	}
+	waits := 0
+	for spins := 0; ; spins++ {
+		w := in.writable.Load()
+		d := in.desc[w].Load()
+		if d&descActive == 0 {
+			// Owner is mid-swap; the writable index is about to change.
+			backoff(spins)
+			if spins > overflowSpins {
+				in.appendOverflow(data)
+				return -1, waits
+			}
+			continue
+		}
+		off := descOffset(d)
+		if off+size > uint64(len(in.bufs[w])) {
+			// Buffer full: wait for the owner to swap.
+			waits++
+			backoff(spins)
+			if spins > overflowSpins {
+				in.appendOverflow(data)
+				return -1, waits
+			}
+			continue
+		}
+		// Reserve space and register as a writer in one CAS.
+		nd := d + size<<31 + 1
+		if !in.desc[w].CompareAndSwap(d, nd) {
+			in.casRetry.Add(1)
+			continue
+		}
+		copy(in.bufs[w][off:], data)
+		// Deregister: writers live in the low bits, so a plain decrement
+		// cannot touch offset or active.
+		in.desc[w].Add(^uint64(0))
+		in.appends.Add(1)
+		in.bytes.Add(int64(size))
+		return int(w), waits
+	}
+}
+
+func (in *Inbox) appendOverflow(data []byte) {
+	in.overflowMu.Lock()
+	in.overflow = append(in.overflow, data...)
+	in.overflowMu.Unlock()
+	in.overflows.Add(1)
+	in.bytes.Add(int64(len(data)))
+}
+
+// backoff yields briefly at first and sleeps once a writer has clearly
+// been waiting on the owner for a while.
+func backoff(spins int) {
+	if spins < spinSpins {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(sleepBackoff)
+}
+
+// Swap flips the double buffer: the previously writable buffer is drained
+// (waiting for in-flight writers) and its payload returned, valid until the
+// next Swap. Only the owning AEU calls Swap. Overflow-queued bytes are
+// appended to the returned payload.
+func (in *Inbox) Swap() []byte {
+	old := in.writable.Load()
+	next := 1 - old
+	// Activate the other buffer first so writers always find an active
+	// buffer, then move the writable pointer, then retire the old buffer.
+	in.desc[next].Store(descActive)
+	in.writable.Store(next)
+	var d uint64
+	for {
+		d = in.desc[old].Load()
+		if in.desc[old].CompareAndSwap(d, d&^descActive) {
+			break
+		}
+	}
+	// Wait until in-flight appends to the old buffer complete.
+	for {
+		d = in.desc[old].Load()
+		if d&descWriterMask == 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	in.swaps.Add(1)
+	payload := in.bufs[old][:descOffset(d)]
+
+	in.overflowMu.Lock()
+	if len(in.overflow) > 0 {
+		payload = append(append([]byte(nil), payload...), in.overflow...)
+		in.overflow = in.overflow[:0]
+	}
+	in.overflowMu.Unlock()
+	return payload
+}
+
+// resetOld marks the drained buffer empty; Swap leaves the old descriptor
+// inactive with its offset intact so the owner can read the payload, and
+// the *next* Swap's Store(descActive) clears it — no extra step needed.
+
+// InboxStats is a snapshot of inbox counters.
+type InboxStats struct {
+	Appends    int64
+	Bytes      int64
+	Swaps      int64
+	Overflows  int64
+	CASRetries int64
+}
+
+// Stats returns a snapshot of the inbox counters.
+func (in *Inbox) Stats() InboxStats {
+	return InboxStats{
+		Appends:    in.appends.Load(),
+		Bytes:      in.bytes.Load(),
+		Swaps:      in.swaps.Load(),
+		Overflows:  in.overflows.Load(),
+		CASRetries: in.casRetry.Load(),
+	}
+}

@@ -1,0 +1,374 @@
+package routing
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync/atomic"
+
+	"eris/internal/colstore"
+	"eris/internal/command"
+	"eris/internal/mem"
+	"eris/internal/prefixtree"
+	"eris/internal/topology"
+)
+
+// Frame kinds inside routed buffers.
+const (
+	kindCmd byte = 1 // inline encoded command follows
+	kindRef byte = 2 // multicast reference: src AEU (4), slot (4), size (4)
+)
+
+const refRecordBytes = 1 + 4 + 4 + 4
+
+// fullBufferPollNS is the virtual cost of one poll on a full remote
+// incoming buffer; producers pay it per wait spin, modeling backpressure.
+const fullBufferPollNS = 100.0
+
+// mcastEntry is one slot of an AEU's multicast table: the command encoded
+// once, pulled by every referenced target.
+type mcastEntry struct {
+	data []byte
+	refs atomic.Int32
+}
+
+// Outbox is the private per-AEU routing state: one unicast buffer and one
+// multicast reference buffer per peer AEU, plus the multicast table. All
+// buffers live in the owning AEU's local memory and need no concurrency
+// control (step 2 of Figure 4); only flushing touches remote memory.
+type Outbox struct {
+	r    *Router
+	self uint32
+	node topology.NodeID
+
+	uni     [][]byte // per target; lazily allocated
+	refs    [][]byte // per target multicast reference buffers
+	touched []uint32 // targets with pending data, in first-touch order
+	dirty   []bool
+
+	mcast     []mcastEntry
+	mcastNext int
+	mcastAddr mem.Block
+
+	// groupKeys/groupKVs are per-target scratch for splitting batches.
+	groupKeys [][]uint64
+	groupKVs  [][]prefixtree.KV
+
+	// Stats.
+	routedCmds  int64
+	routedKeys  int64
+	flushes     int64
+	flushedByte int64
+	mcasts      int64
+}
+
+func newOutbox(r *Router, self uint32, node topology.NodeID) *Outbox {
+	n := r.numAEUs
+	return &Outbox{
+		r:         r,
+		self:      self,
+		node:      node,
+		uni:       make([][]byte, n),
+		refs:      make([][]byte, n),
+		dirty:     make([]bool, n),
+		mcast:     make([]mcastEntry, r.cfg.MulticastSlots),
+		mcastAddr: r.mems.Node(node).Alloc(int64(r.cfg.MulticastSlots) * 64),
+		groupKeys: make([][]uint64, n),
+		groupKVs:  make([][]prefixtree.KV, n),
+	}
+}
+
+// core returns the core this outbox's AEU is pinned to.
+func (o *Outbox) core() topology.CoreID { return topology.CoreID(o.self) }
+
+// markTouched records that target has pending data.
+func (o *Outbox) markTouched(to uint32) {
+	if !o.dirty[to] {
+		o.dirty[to] = true
+		o.touched = append(o.touched, to)
+	}
+}
+
+// appendCmd encodes cmd into the unicast buffer of target, flushing first
+// if the buffer would overflow. Appends are local memory writes.
+func (o *Outbox) appendCmd(to uint32, cmd *command.Command) {
+	need := 1 + cmd.EncodedSize()
+	if buf := o.uni[to]; len(buf)+need > o.r.cfg.OutBufBytes && len(buf) > 0 {
+		o.FlushTarget(to)
+	}
+	if o.uni[to] == nil {
+		o.uni[to] = make([]byte, 0, o.r.cfg.OutBufBytes)
+	}
+	o.uni[to] = append(o.uni[to], kindCmd)
+	o.uni[to] = cmd.AppendEncode(o.uni[to])
+	o.markTouched(to)
+	o.routedCmds++
+	// Local buffer write: charged as a local stream so that routing's local
+	// traffic shows up in the memory-controller counters.
+	o.r.machine.Stream(o.core(), o.node, int64(need))
+}
+
+// Send routes a fully formed command to one explicit target AEU.
+func (o *Outbox) Send(to uint32, cmd *command.Command) {
+	cmd.Source = o.self
+	o.appendCmd(to, cmd)
+}
+
+// RouteLookup splits a key batch by owner and routes per-owner lookup
+// commands. It returns the number of commands emitted.
+func (o *Outbox) RouteLookup(obj ObjectID, keys []uint64, replyTo int32, tag uint64) int {
+	table := o.r.object(obj).ranged
+	m := o.r.machine
+	m.AdvanceNS(o.core(), o.r.cfg.RouteNSPerKey*float64(len(keys)))
+	o.routedKeys += int64(len(keys))
+
+	var targets []uint32
+	for _, k := range keys {
+		to := table.Owner(k)
+		if len(o.groupKeys[to]) == 0 {
+			targets = append(targets, to)
+		}
+		o.groupKeys[to] = append(o.groupKeys[to], k)
+	}
+	for _, to := range targets {
+		cmd := command.Command{
+			Op: command.OpLookup, Object: uint32(obj), Source: o.self,
+			ReplyTo: replyTo, Tag: tag, Keys: o.groupKeys[to],
+		}
+		o.appendCmd(to, &cmd)
+		o.groupKeys[to] = o.groupKeys[to][:0]
+	}
+	return len(targets)
+}
+
+// RouteUpsert splits a KV batch by owner and routes per-owner upserts.
+func (o *Outbox) RouteUpsert(obj ObjectID, kvs []prefixtree.KV, replyTo int32, tag uint64) int {
+	table := o.r.object(obj).ranged
+	m := o.r.machine
+	m.AdvanceNS(o.core(), o.r.cfg.RouteNSPerKey*float64(len(kvs)))
+	o.routedKeys += int64(len(kvs))
+
+	var targets []uint32
+	for _, kv := range kvs {
+		to := table.Owner(kv.Key)
+		if len(o.groupKVs[to]) == 0 {
+			targets = append(targets, to)
+		}
+		o.groupKVs[to] = append(o.groupKVs[to], kv)
+	}
+	for _, to := range targets {
+		cmd := command.Command{
+			Op: command.OpUpsert, Object: uint32(obj), Source: o.self,
+			ReplyTo: replyTo, Tag: tag, KVs: o.groupKVs[to],
+		}
+		o.appendCmd(to, &cmd)
+		o.groupKVs[to] = o.groupKVs[to][:0]
+	}
+	return len(targets)
+}
+
+// RouteScan multicasts a full scan of a size-partitioned object to every
+// holder. It returns the number of targets.
+func (o *Outbox) RouteScan(obj ObjectID, pred colstore.Predicate, replyTo int32, tag uint64) int {
+	holders := o.r.object(obj).bitmap.Holders(nil)
+	cmd := command.Command{
+		Op: command.OpScan, Object: uint32(obj), Source: o.self,
+		ReplyTo: replyTo, Tag: tag, Pred: pred,
+	}
+	o.multicast(&cmd, holders)
+	return len(holders)
+}
+
+// RouteRangeScan multicasts an index range scan over [lo, hi] to the owning
+// AEUs of a range-partitioned object.
+func (o *Outbox) RouteRangeScan(obj ObjectID, lo, hi uint64, pred colstore.Predicate, replyTo int32, tag uint64) int {
+	entries := o.r.object(obj).ranged.Owners(nil, lo, hi)
+	targets := make([]uint32, len(entries))
+	for i, e := range entries {
+		targets[i] = e.Owner
+	}
+	cmd := command.Command{
+		Op: command.OpScan, Object: uint32(obj), Source: o.self,
+		ReplyTo: replyTo, Tag: tag, Pred: pred, Keys: []uint64{lo, hi},
+	}
+	o.multicast(&cmd, targets)
+	return len(targets)
+}
+
+// multicast stores the command once in the multicast table and appends a
+// reference record to each target's reference buffer (step 2, multicast
+// path, of Figure 4).
+func (o *Outbox) multicast(cmd *command.Command, targets []uint32) {
+	if len(targets) == 0 {
+		return
+	}
+	m := o.r.machine
+	m.AdvanceNS(o.core(), o.r.cfg.RouteNSPerKey*float64(len(targets)))
+	slot := o.allocMcastSlot()
+	e := &o.mcast[slot]
+	e.data = cmd.AppendEncode(e.data[:0])
+	e.refs.Store(int32(len(targets)))
+	o.mcasts++
+	o.routedCmds++
+	m.Stream(o.core(), o.node, int64(len(e.data)))
+
+	var rec [refRecordBytes]byte
+	rec[0] = kindRef
+	binary.LittleEndian.PutUint32(rec[1:], o.self)
+	binary.LittleEndian.PutUint32(rec[5:], uint32(slot))
+	binary.LittleEndian.PutUint32(rec[9:], uint32(len(e.data)))
+	for _, to := range targets {
+		if len(o.refs[to])+refRecordBytes > o.r.cfg.OutBufBytes && len(o.refs[to]) > 0 {
+			o.FlushTarget(to)
+		}
+		o.refs[to] = append(o.refs[to], rec[:]...)
+		o.markTouched(to)
+		m.Stream(o.core(), o.node, refRecordBytes)
+	}
+}
+
+// allocMcastSlot finds a slot whose previous references are all consumed.
+func (o *Outbox) allocMcastSlot() int {
+	for spins := 0; ; spins++ {
+		for i := 0; i < len(o.mcast); i++ {
+			slot := (o.mcastNext + i) % len(o.mcast)
+			if o.mcast[slot].refs.Load() == 0 {
+				o.mcastNext = (slot + 1) % len(o.mcast)
+				return slot
+			}
+		}
+		// All slots pending: targets have not drained yet. Flush what we
+		// have so they can make progress and yield.
+		o.Flush()
+		runtime.Gosched()
+	}
+}
+
+// FlushTarget copies the pending buffers for one target into its inbox,
+// paying one remote round trip plus the transfer (step 3 of Figure 4).
+func (o *Outbox) FlushTarget(to uint32) {
+	uni, refs := o.uni[to], o.refs[to]
+	total := len(uni) + len(refs)
+	if total == 0 {
+		return
+	}
+	m := o.r.machine
+	targetNode := o.r.nodeOfAEU(to)
+	// One descriptor CAS round trip per flush (overlapped across targets
+	// up to the configured depth), then the batched copy.
+	m.AdvanceNS(o.core(), m.RemoteLatencyNS(o.core(), targetNode)/float64(o.r.cfg.FlushOverlap))
+	m.Stream(o.core(), targetNode, int64(total))
+
+	inbox := o.r.inboxes[to]
+	if len(uni) > 0 {
+		_, waits := inbox.Append(uni)
+		m.AdvanceNS(o.core(), fullBufferPollNS*float64(waits))
+		o.uni[to] = uni[:0]
+	}
+	if len(refs) > 0 {
+		_, waits := inbox.Append(refs)
+		m.AdvanceNS(o.core(), fullBufferPollNS*float64(waits))
+		o.refs[to] = refs[:0]
+	}
+	o.flushes++
+	o.flushedByte += int64(total)
+	o.dirty[to] = false
+}
+
+// Flush sends every pending buffer (the AEU calls this when its loop starts
+// over).
+func (o *Outbox) Flush() {
+	if len(o.touched) == 0 {
+		return
+	}
+	for _, to := range o.touched {
+		if o.dirty[to] {
+			o.FlushTarget(to)
+		}
+	}
+	o.touched = o.touched[:0]
+}
+
+// OutboxStats is a snapshot of per-AEU routing counters.
+type OutboxStats struct {
+	RoutedCommands int64
+	RoutedKeys     int64
+	Multicasts     int64
+	Flushes        int64
+	FlushedBytes   int64
+}
+
+// Stats returns a snapshot of the outbox counters. Only the owning AEU
+// writes them; reading from other goroutines is for monitoring only.
+func (o *Outbox) Stats() OutboxStats {
+	return OutboxStats{
+		RoutedCommands: o.routedCmds,
+		RoutedKeys:     o.routedKeys,
+		Multicasts:     o.mcasts,
+		Flushes:        o.flushes,
+		FlushedBytes:   o.flushedByte,
+	}
+}
+
+// Inject frames and appends a command directly to an AEU's inbox, bypassing
+// the outbox pre-buffering. The engine's client API and the load balancer
+// use it: both are control-plane paths without a core of their own, so no
+// virtual time is charged. The inbox protocol makes this safe from any
+// goroutine.
+func (r *Router) Inject(aeu uint32, cmd *command.Command) {
+	buf := make([]byte, 0, 1+cmd.EncodedSize())
+	buf = append(buf, kindCmd)
+	buf = cmd.AppendEncode(buf)
+	r.inboxes[aeu].Append(buf)
+}
+
+// Drain swaps the AEU's inbox and decodes every routed command, resolving
+// multicast references by pulling the command from the source AEU's
+// multicast table (charged as a remote read). fn is called for each
+// command. It returns the number of commands delivered.
+func (r *Router) Drain(aeu uint32, fn func(command.Command)) int {
+	in := r.inboxes[aeu]
+	core := topology.CoreID(aeu)
+	node := r.nodeOfAEU(aeu)
+	payload := in.Swap()
+	if len(payload) == 0 {
+		return 0
+	}
+	m := r.machine
+	// The owner reads its processing buffer sequentially from local memory.
+	m.Stream(core, node, int64(len(payload)))
+
+	n := 0
+	for off := 0; off < len(payload); {
+		switch payload[off] {
+		case kindCmd:
+			cmd, used, err := command.Decode(payload[off+1:])
+			if err != nil {
+				panic("routing: corrupt inbox frame: " + err.Error())
+			}
+			m.AdvanceNS(core, r.cfg.DecodeNSPerCommand)
+			fn(cmd)
+			off += 1 + used
+			n++
+		case kindRef:
+			src := binary.LittleEndian.Uint32(payload[off+1:])
+			slot := binary.LittleEndian.Uint32(payload[off+5:])
+			size := binary.LittleEndian.Uint32(payload[off+9:])
+			srcBox := r.outboxes[src]
+			e := &srcBox.mcast[slot]
+			// Pull the command body from the source AEU's local memory.
+			m.Read(core, srcBox.node, srcBox.mcastAddr.Addr+uint64(slot*64), int64(size), 2)
+			cmd, _, err := command.Decode(e.data)
+			if err != nil {
+				panic("routing: corrupt multicast entry: " + err.Error())
+			}
+			e.refs.Add(-1)
+			m.AdvanceNS(core, r.cfg.DecodeNSPerCommand)
+			fn(cmd)
+			off += refRecordBytes
+			n++
+		default:
+			panic("routing: unknown frame kind")
+		}
+	}
+	return n
+}

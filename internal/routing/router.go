@@ -1,0 +1,212 @@
+package routing
+
+import (
+	"fmt"
+	"sync"
+
+	"eris/internal/csbtree"
+	"eris/internal/mem"
+	"eris/internal/numasim"
+	"eris/internal/topology"
+)
+
+// Config tunes the routing layer.
+type Config struct {
+	// OutBufBytes is the capacity of one private outgoing buffer (one per
+	// target AEU per source AEU). Default 4096. Figure 5 sweeps this.
+	OutBufBytes int
+	// InBufBytes is the capacity of each of the two incoming buffers per
+	// AEU. Default 1 MiB.
+	InBufBytes int
+	// MulticastSlots is the per-AEU multicast table capacity. Default 1024.
+	MulticastSlots int
+	// RouteNSPerKey is the CPU cost of one partition-table lookup; the
+	// tables are cache-resident, so no memory access is charged. Default 3.
+	RouteNSPerKey float64
+	// DecodeNSPerCommand is the CPU cost of decoding one routed command.
+	DecodeNSPerCommand float64
+	// FlatTables switches the range partition tables to the sorted-array
+	// variant (ablation benchmark).
+	FlatTables bool
+	// FlushOverlap is how many remote descriptor round trips an AEU keeps
+	// in flight when flushing several outgoing buffers back to back
+	// (independent atomics to distinct nodes). Default 8; the Figure 5
+	// experiment sets 1 to isolate the pre-batching effect.
+	FlushOverlap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.OutBufBytes == 0 {
+		c.OutBufBytes = 4096
+	}
+	if c.InBufBytes == 0 {
+		c.InBufBytes = 1 << 20
+	}
+	if c.MulticastSlots == 0 {
+		c.MulticastSlots = 1024
+	}
+	if c.RouteNSPerKey == 0 {
+		c.RouteNSPerKey = 3
+	}
+	if c.DecodeNSPerCommand == 0 {
+		c.DecodeNSPerCommand = 2
+	}
+	if c.FlushOverlap == 0 {
+		c.FlushOverlap = 8
+	}
+	return c
+}
+
+// Router owns the partition tables, inboxes and outboxes of all AEUs of an
+// engine. AEU i is pinned to core i of the machine.
+type Router struct {
+	machine *numasim.Machine
+	mems    *mem.System
+	cfg     Config
+	numAEUs int
+
+	inboxes  []*Inbox
+	outboxes []*Outbox
+
+	mu      sync.RWMutex
+	objects map[ObjectID]*object
+}
+
+// New builds the routing layer for numAEUs workers.
+func New(machine *numasim.Machine, mems *mem.System, numAEUs int, cfg Config) (*Router, error) {
+	if numAEUs <= 0 || numAEUs > machine.Topology().NumCores() {
+		return nil, fmt.Errorf("routing: numAEUs %d out of range (machine has %d cores)",
+			numAEUs, machine.Topology().NumCores())
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{
+		machine: machine,
+		mems:    mems,
+		cfg:     cfg,
+		numAEUs: numAEUs,
+		objects: make(map[ObjectID]*object),
+	}
+	topo := machine.Topology()
+	r.inboxes = make([]*Inbox, numAEUs)
+	r.outboxes = make([]*Outbox, numAEUs)
+	for i := 0; i < numAEUs; i++ {
+		node := topo.NodeOfCore(topology.CoreID(i))
+		r.inboxes[i] = newInbox(mems.Node(node), cfg.InBufBytes)
+		r.outboxes[i] = newOutbox(r, uint32(i), node)
+	}
+	return r, nil
+}
+
+// NumAEUs returns the number of workers the router serves.
+func (r *Router) NumAEUs() int { return r.numAEUs }
+
+// Machine returns the simulated machine.
+func (r *Router) Machine() *numasim.Machine { return r.machine }
+
+// Config returns the effective configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// Inbox returns AEU aeu's incoming buffer pair.
+func (r *Router) Inbox(aeu uint32) *Inbox { return r.inboxes[aeu] }
+
+// Outbox returns AEU aeu's private outgoing buffers.
+func (r *Router) Outbox(aeu uint32) *Outbox { return r.outboxes[aeu] }
+
+// nodeOfAEU returns the NUMA node AEU aeu is pinned on.
+func (r *Router) nodeOfAEU(aeu uint32) topology.NodeID {
+	return r.machine.Topology().NodeOfCore(topology.CoreID(aeu))
+}
+
+// RegisterRange registers a range-partitioned object with the initial
+// partitioning.
+func (r *Router) RegisterRange(id ObjectID, entries []csbtree.Entry) error {
+	var (
+		rt  *RangeTable
+		err error
+	)
+	if r.cfg.FlatTables {
+		rt, err = NewFlatRangeTable(entries)
+	} else {
+		rt, err = NewRangeTable(entries)
+	}
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.objects[id]; dup {
+		return fmt.Errorf("routing: object %d already registered", id)
+	}
+	r.objects[id] = &object{kind: RangePartitioned, ranged: rt}
+	return nil
+}
+
+// RegisterSize registers a size-partitioned (scan-only) object held by the
+// given AEUs.
+func (r *Router) RegisterSize(id ObjectID, holders []uint32) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.objects[id]; dup {
+		return fmt.Errorf("routing: object %d already registered", id)
+	}
+	r.objects[id] = &object{kind: SizePartitioned, bitmap: NewBitmapTable(holders, r.numAEUs)}
+	return nil
+}
+
+// object looks up a registered object; it panics on unknown IDs because
+// commands for unregistered objects indicate an engine bug, not user error.
+func (r *Router) object(id ObjectID) *object {
+	r.mu.RLock()
+	o := r.objects[id]
+	r.mu.RUnlock()
+	if o == nil {
+		panic(fmt.Sprintf("routing: unknown object %d", id))
+	}
+	return o
+}
+
+// Kind returns the partitioning kind of a registered object.
+func (r *Router) Kind(id ObjectID) TableKind { return r.object(id).kind }
+
+// Owner returns the AEU owning key in a range-partitioned object.
+func (r *Router) Owner(id ObjectID, key uint64) uint32 {
+	return r.object(id).ranged.Owner(key)
+}
+
+// OwnerEntries returns the current partitioning of a range object.
+func (r *Router) OwnerEntries(id ObjectID) []csbtree.Entry {
+	return r.object(id).ranged.Entries()
+}
+
+// UpdateRange publishes a new partitioning for a range object (load
+// balancer only).
+func (r *Router) UpdateRange(id ObjectID, entries []csbtree.Entry) error {
+	o := r.object(id)
+	if o.kind != RangePartitioned {
+		return fmt.Errorf("routing: object %d is not range partitioned", id)
+	}
+	if r.cfg.FlatTables {
+		rt, err := NewFlatRangeTable(entries)
+		if err != nil {
+			return err
+		}
+		o.ranged.idx.Store(rt.idx.Load())
+		return nil
+	}
+	return o.ranged.Update(entries)
+}
+
+// UpdateSize publishes a new holder set for a size-partitioned object.
+func (r *Router) UpdateSize(id ObjectID, holders []uint32) error {
+	o := r.object(id)
+	if o.kind != SizePartitioned {
+		return fmt.Errorf("routing: object %d is not size partitioned", id)
+	}
+	o.bitmap.Update(holders, r.numAEUs)
+	return nil
+}
+
+// Holders appends the AEUs holding a size-partitioned object to dst.
+func (r *Router) Holders(id ObjectID, dst []uint32) []uint32 {
+	return r.object(id).bitmap.Holders(dst)
+}

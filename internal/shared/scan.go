@@ -1,0 +1,117 @@
+package shared
+
+import (
+	"fmt"
+	"sync"
+
+	"eris/internal/mem"
+	"eris/internal/numasim"
+	"eris/internal/topology"
+)
+
+// scanChunk is one placed chunk of the shared scan table.
+type scanChunk struct {
+	data  []uint64
+	block mem.Block
+}
+
+// ScanTable is the shared full-scan baseline of Figure 9: one big column
+// whose chunks are placed by policy, scanned in parallel by worker threads
+// that stripe over the chunks (a conventional parallel table scan with no
+// notion of memory locality).
+type ScanTable struct {
+	machine *numasim.Machine
+	chunks  []scanChunk
+	entries int64
+}
+
+// scanComputeNSPerByte mirrors colstore's per-byte CPU cost so the shared
+// and ERIS scans differ only in memory placement.
+const scanComputeNSPerByte = 0.0125
+
+// NewScanTable builds a table of totalEntries 64-bit values in chunks of
+// chunkEntries, placed per policy (node used for SingleNode).
+func NewScanTable(machine *numasim.Machine, mems *mem.System, placement Placement, node topology.NodeID, totalEntries, chunkEntries int64) (*ScanTable, error) {
+	if chunkEntries <= 0 || totalEntries <= 0 {
+		return nil, fmt.Errorf("shared: non-positive scan table size")
+	}
+	st := &ScanTable{machine: machine, entries: totalEntries}
+	nodes := machine.Topology().NumNodes()
+	numChunks := int((totalEntries + chunkEntries - 1) / chunkEntries)
+	left := totalEntries
+	for i := 0; i < numChunks; i++ {
+		n := chunkEntries
+		if left < n {
+			n = left
+		}
+		left -= n
+		var mgr *mem.Manager
+		switch placement {
+		case Interleaved:
+			mgr = mems.Node(topology.NodeID(i % nodes))
+		case SingleNode:
+			mgr = mems.Node(node)
+		default:
+			return nil, fmt.Errorf("shared: unknown placement %d", placement)
+		}
+		ck := scanChunk{data: make([]uint64, n), block: mgr.Alloc(n * 8)}
+		for j := range ck.data {
+			x := uint64(i)<<32 ^ uint64(j)
+			x ^= x >> 33
+			x *= 0xff51afd7ed558ccd
+			ck.data[j] = x
+		}
+		st.chunks = append(st.chunks, ck)
+	}
+	return st, nil
+}
+
+// Bytes returns the table's total size.
+func (st *ScanTable) Bytes() int64 { return st.entries * 8 }
+
+// RunScans scans the table repeatedly with `workers` threads for
+// durationSec of virtual time per worker. Worker w handles chunks w, w+W,
+// ... of every pass. It returns the total bytes scanned; aggregate
+// bandwidth comes from an epoch spanning the call.
+func (st *ScanTable) RunScans(workers int, durationSec float64) int64 {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var totalBytes int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			core := topology.CoreID(w)
+			start := st.machine.ClockNS(core)
+			var bytes int64
+			var sink uint64
+			for (st.machine.ClockNS(core)-start)/1e9 < durationSec {
+				passBytes := int64(0)
+				for i := w; i < len(st.chunks); i += workers {
+					ck := &st.chunks[i]
+					n := int64(len(ck.data)) * 8
+					st.machine.Stream(core, ck.block.Home, n)
+					st.machine.AdvanceNS(core, float64(n)*scanComputeNSPerByte)
+					for _, v := range ck.data {
+						sink += v
+					}
+					passBytes += n
+				}
+				if passBytes == 0 {
+					// More workers than chunks: this thread has no stripe;
+					// spin its clock forward so the loop terminates.
+					st.machine.AdvanceNS(core, 1000)
+					continue
+				}
+				bytes += passBytes
+				st.machine.CountOps(core, 1)
+			}
+			_ = sink
+			mu.Lock()
+			totalBytes += bytes
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return totalBytes
+}

@@ -1,0 +1,168 @@
+// Package shared implements the NUMA-agnostic baselines the paper compares
+// ERIS against (Section 4): a *shared index* — the same prefix tree as the
+// AEU partitions, but unpartitioned, updated with atomic instructions by
+// any number of worker threads, and with its memory interleaved across all
+// multiprocessors (the `numactl --interleave=all` setup that the paper
+// found fastest for the shared case) — and a *shared scan* over a column
+// whose chunks are placed on a single node or interleaved (Figure 9's
+// "Single RAM" and "Interleaved" allocation strategies).
+//
+// Workers are plain transaction threads: one per core, each accessing the
+// entire data object, which is exactly the access pattern that scatters
+// cache lines into Shared/Forward states and pushes most memory requests
+// across the interconnect.
+package shared
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"eris/internal/mem"
+	"eris/internal/numasim"
+	"eris/internal/prefixtree"
+	"eris/internal/topology"
+	"eris/internal/workload"
+)
+
+// Placement selects where a shared object's memory lives.
+type Placement int
+
+// Placement policies.
+const (
+	// Interleaved spreads allocations round-robin over all nodes.
+	Interleaved Placement = iota
+	// SingleNode puts everything on one node (Figure 9's "Single RAM").
+	SingleNode
+)
+
+// Index is the shared (unpartitioned) prefix-tree index baseline.
+type Index struct {
+	machine *numasim.Machine
+	mems    *mem.System
+	store   *prefixtree.Store
+	tree    *prefixtree.Tree
+}
+
+// NewIndex builds a shared index with the given placement (node is the
+// target for SingleNode and ignored otherwise).
+func NewIndex(machine *numasim.Machine, mems *mem.System, cfg prefixtree.Config, placement Placement, node topology.NodeID) (*Index, error) {
+	var (
+		store *prefixtree.Store
+		err   error
+	)
+	switch placement {
+	case Interleaved:
+		store, err = prefixtree.NewInterleavedStore(machine, mems, cfg)
+	case SingleNode:
+		store, err = prefixtree.NewSingleNodeStore(machine, mems, node, cfg)
+	default:
+		return nil, fmt.Errorf("shared: unknown placement %d", placement)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		machine: machine,
+		mems:    mems,
+		store:   store,
+		tree:    prefixtree.NewTree(store.NewLockedSession()),
+	}, nil
+}
+
+// Tree exposes the underlying tree (tests).
+func (ix *Index) Tree() *prefixtree.Tree { return ix.tree }
+
+// LoadDense inserts the dense key domain [0, n) using all worker cores in
+// parallel (each worker loads a contiguous stripe; inserts synchronize via
+// CAS as any concurrent insert would).
+func (ix *Index) LoadDense(workers int, n uint64, valueOf func(uint64) uint64) {
+	if valueOf == nil {
+		valueOf = func(k uint64) uint64 { return k }
+	}
+	var wg sync.WaitGroup
+	stripe := n / uint64(workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			core := topology.CoreID(w)
+			lo := uint64(w) * stripe
+			hi := lo + stripe
+			if w == workers-1 {
+				hi = n
+			}
+			const batch = 256
+			kvs := make([]prefixtree.KV, 0, batch)
+			for k := lo; k < hi; {
+				kvs = kvs[:0]
+				for ; k < hi && len(kvs) < batch; k++ {
+					kvs = append(kvs, prefixtree.KV{Key: k, Value: valueOf(k)})
+				}
+				ix.tree.UpsertBatch(core, kvs)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// RunLookups spawns `workers` transaction threads (cores 0..workers-1) that
+// look up random keys in batches until each worker's virtual clock advances
+// durationSec. It returns total completed lookups; throughput comes from a
+// machine epoch spanning the call.
+func (ix *Index) RunLookups(workers int, gen workload.KeyGen, batch int, durationSec float64) int64 {
+	return ix.runWorkers(workers, durationSec, func(core topology.CoreID, rng *rand.Rand, elapsed float64) int64 {
+		keys := make([]uint64, batch)
+		values := make([]uint64, batch)
+		found := make([]bool, batch)
+		workload.FillBatch(gen, rng, elapsed, keys)
+		ix.tree.LookupBatch(core, keys, values, found)
+		return int64(batch)
+	})
+}
+
+// RunUpserts is the shared-index write benchmark: random-key upserts in
+// batches for a virtual duration.
+func (ix *Index) RunUpserts(workers int, gen workload.KeyGen, batch int, durationSec float64) int64 {
+	return ix.runWorkers(workers, durationSec, func(core topology.CoreID, rng *rand.Rand, elapsed float64) int64 {
+		kvs := make([]prefixtree.KV, batch)
+		for i := range kvs {
+			k := gen.Key(rng, elapsed)
+			kvs[i] = prefixtree.KV{Key: k, Value: k}
+		}
+		ix.tree.UpsertBatch(core, kvs)
+		return int64(batch)
+	})
+}
+
+// runWorkers drives one body function per worker core until each worker's
+// virtual clock advances by durationSec; it returns the total ops counted.
+func (ix *Index) runWorkers(workers int, durationSec float64, body func(topology.CoreID, *rand.Rand, float64) int64) int64 {
+	var wg sync.WaitGroup
+	var total int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			core := topology.CoreID(w)
+			rng := rand.New(rand.NewSource(int64(w)*2654435761 + 7))
+			start := ix.machine.ClockNS(core)
+			var ops int64
+			for {
+				elapsed := (ix.machine.ClockNS(core) - start) / 1e9
+				if elapsed >= durationSec {
+					break
+				}
+				n := body(core, rng, elapsed)
+				ix.machine.CountOps(core, n)
+				ops += n
+			}
+			mu.Lock()
+			total += ops
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return total
+}

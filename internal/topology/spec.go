@@ -1,0 +1,55 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MachineSpec is one column of the paper's Table 1 (machine specification
+// overview), derivable from a Topology plus the static interconnect notes.
+type MachineSpec struct {
+	Name         string
+	Processors   string
+	Cores        string
+	Memory       string
+	LLC          string
+	Interconnect []string
+	OS           string
+}
+
+// Spec reproduces the Table 1 column for the known machines; synthetic
+// topologies get a generated description.
+func Spec(t *Topology) MachineSpec {
+	totalMem := float64(t.TotalMemory()) / float64(GiB)
+	perNode := float64(t.Nodes[0].MemoryBytes) / float64(GiB)
+	spec := MachineSpec{
+		Name:   t.Name,
+		Cores:  fmt.Sprintf("%d cores", t.NumCores()),
+		Memory: fmt.Sprintf("%.0f GB memory (%.0f GB per node)", totalMem, perNode),
+		LLC:    fmt.Sprintf("%.0f MB LLC per node", float64(t.Nodes[0].LLCBytes)/float64(MiB)),
+	}
+	switch {
+	case strings.HasPrefix(t.Name, "Intel"):
+		spec.Processors = "4x Intel Xeon E7-4860"
+		spec.Cores = "40 cores (80 HW threads)"
+		spec.Interconnect = []string{"QPI: 12.8 GB/s per link"}
+		spec.OS = "Ubuntu 13.4 server (3.8.0-29)"
+	case strings.HasPrefix(t.Name, "AMD"):
+		spec.Processors = "4x AMD Opteron 6274 (dual node)"
+		spec.LLC = "12 MB LLC per socket (2 x 6 MB)"
+		spec.Interconnect = []string{"HyperTransport: 12.8 GB/s per link"}
+		spec.OS = "Ubuntu 13.4 server (3.8.0-31)"
+	case strings.HasPrefix(t.Name, "SGI"):
+		spec.Processors = fmt.Sprintf("%dx Intel Xeon E5-4650L", t.NumNodes())
+		spec.Interconnect = []string{
+			"QPI: 16 GB/s to HARP",
+			"NumaLink6: 2x 6.7 GB/s between HARPs",
+		}
+		spec.OS = "SLES 11 SP2 (3.0.93-0.5)"
+	default:
+		spec.Processors = fmt.Sprintf("%dx synthetic node", t.NumNodes())
+		spec.Interconnect = []string{fmt.Sprintf("%d links", len(t.Links))}
+		spec.OS = "simulated"
+	}
+	return spec
+}

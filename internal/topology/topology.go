@@ -1,0 +1,330 @@
+// Package topology models the NUMA interconnect topology of a multiprocessor
+// system: nodes (multiprocessors with local memory and LLC), point-to-point
+// links (QPI, HyperTransport, NumaLink), shortest routes between nodes, and a
+// calibrated per-node-pair cost matrix (latency and streaming bandwidth).
+//
+// The three machines evaluated in the ERIS paper (Table 1 / Figure 2) are
+// provided as builders in machines.go; their pair costs are calibrated to the
+// paper's measured values (Table 2). Synthetic topologies for tests and
+// experiments are available through New and the helpers in this file.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a multiprocessor (a NUMA node) within a Topology.
+type NodeID int32
+
+// CoreID identifies a hardware context. Cores are numbered consecutively
+// across nodes: node 0 owns cores [0, n0), node 1 owns [n0, n0+n1), and so on.
+type CoreID int32
+
+// LinkID indexes into Topology.Links.
+type LinkID int32
+
+// Node describes one multiprocessor: its processing cores, the capacity of
+// its local memory, and its last-level cache.
+type Node struct {
+	ID          NodeID
+	Cores       int   // hardware contexts on this multiprocessor
+	MemoryBytes int64 // capacity of the local main memory
+	LLCBytes    int64 // last-level cache size
+	LLCWays     int   // LLC associativity (used by the cache simulator)
+
+	// LocalBandwidth is the aggregate read bandwidth of the integrated
+	// memory controller in GB/s, and LocalLatency the unloaded DRAM read
+	// latency in nanoseconds, both for accesses from this node itself.
+	LocalBandwidth float64
+	LocalLatency   float64
+}
+
+// Link is one physical point-to-point interconnect between two nodes.
+// Capacity is per direction; a bidirectional stream may use the full
+// capacity each way.
+type Link struct {
+	ID       LinkID
+	A, B     NodeID
+	Capacity float64 // GB/s per direction
+	Class    string  // e.g. "QPI", "HT-full", "HT-split-single", "NumaLink6"
+}
+
+// PairCost is the modeled cost of memory traffic between a source node (the
+// requester) and a home node (where the data lives).
+type PairCost struct {
+	// LatencyNS is the unloaded read latency in nanoseconds (pointer
+	// chasing, no outstanding requests).
+	LatencyNS float64
+	// BandwidthGBs is the achievable streaming read bandwidth in GB/s when
+	// all cores of the source node read sequentially from the home node.
+	BandwidthGBs float64
+	// Hops is the number of interconnect links on the route (0 for local).
+	Hops int
+	// Class names the distance class, matching the rows of Table 2
+	// (e.g. "local", "1 hop QPI", "2 hop HT (split,dual)").
+	Class string
+}
+
+// Topology is an immutable description of a NUMA machine.
+type Topology struct {
+	Name  string
+	Nodes []Node
+	Links []Link
+
+	// CacheHitNS is the modeled latency of an LLC hit, in nanoseconds.
+	CacheHitNS float64
+	// RemoteCacheHitNS is the modeled latency of a hit that must be
+	// forwarded from another node's cache (MESIF Forward state).
+	RemoteCacheHitNS float64
+
+	costs      [][]PairCost
+	routes     [][][]LinkID
+	coreNode   []NodeID
+	nodeCore0  []CoreID // first core of each node
+	totalCores int
+}
+
+// Classifier assigns a PairCost to a node pair given the hop count and the
+// bottleneck link class of the best route. It is consulted only for remote
+// pairs; local costs come from the Node itself.
+type Classifier func(src, dst NodeID, hops int, bottleneck Link) PairCost
+
+// New assembles a topology from nodes and links, computing shortest routes
+// (fewest hops, ties broken by the highest bottleneck capacity) and the pair
+// cost matrix via classify. It returns an error if the link graph does not
+// connect all nodes or references an unknown node.
+func New(name string, nodes []Node, links []Link, cacheHitNS, remoteCacheHitNS float64, classify Classifier) (*Topology, error) {
+	t := &Topology{
+		Name:             name,
+		Nodes:            append([]Node(nil), nodes...),
+		Links:            append([]Link(nil), links...),
+		CacheHitNS:       cacheHitNS,
+		RemoteCacheHitNS: remoteCacheHitNS,
+	}
+	n := len(t.Nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("topology %s: no nodes", name)
+	}
+	for i := range t.Nodes {
+		if t.Nodes[i].ID != NodeID(i) {
+			return nil, fmt.Errorf("topology %s: node %d has ID %d; IDs must be dense and ordered", name, i, t.Nodes[i].ID)
+		}
+		if t.Nodes[i].Cores <= 0 {
+			return nil, fmt.Errorf("topology %s: node %d has no cores", name, i)
+		}
+	}
+	for i := range t.Links {
+		l := &t.Links[i]
+		l.ID = LinkID(i)
+		if int(l.A) >= n || int(l.B) >= n || l.A < 0 || l.B < 0 || l.A == l.B {
+			return nil, fmt.Errorf("topology %s: link %d connects invalid nodes %d-%d", name, i, l.A, l.B)
+		}
+		if l.Capacity <= 0 {
+			return nil, fmt.Errorf("topology %s: link %d has non-positive capacity", name, i)
+		}
+	}
+
+	t.coreNode = t.coreNode[:0]
+	for i := range t.Nodes {
+		t.nodeCore0 = append(t.nodeCore0, CoreID(t.totalCores))
+		for c := 0; c < t.Nodes[i].Cores; c++ {
+			t.coreNode = append(t.coreNode, NodeID(i))
+		}
+		t.totalCores += t.Nodes[i].Cores
+	}
+
+	if err := t.computeRoutes(classify); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// computeRoutes runs a widest-shortest-path search from every node and fills
+// in the route and cost matrices.
+func (t *Topology) computeRoutes(classify Classifier) error {
+	n := len(t.Nodes)
+	adj := make([][]LinkID, n)
+	for _, l := range t.Links {
+		adj[l.A] = append(adj[l.A], l.ID)
+		adj[l.B] = append(adj[l.B], l.ID)
+	}
+	t.costs = make([][]PairCost, n)
+	t.routes = make([][][]LinkID, n)
+
+	for src := 0; src < n; src++ {
+		hops := make([]int, n)
+		width := make([]float64, n) // bottleneck capacity of best route
+		prev := make([]LinkID, n)
+		for i := range hops {
+			hops[i] = math.MaxInt32
+			prev[i] = -1
+		}
+		hops[src] = 0
+		width[src] = math.Inf(1)
+		// Bellman-Ford style relaxation ordered by (hops asc, width desc);
+		// topologies are tiny (<=64 nodes), so simplicity beats a heap.
+		for changed := true; changed; {
+			changed = false
+			for _, l := range t.Links {
+				for _, dir := range [2][2]NodeID{{l.A, l.B}, {l.B, l.A}} {
+					u, v := dir[0], dir[1]
+					if hops[u] == math.MaxInt32 {
+						continue
+					}
+					nh := hops[u] + 1
+					nw := math.Min(width[u], l.Capacity)
+					if nh < hops[v] || (nh == hops[v] && nw > width[v]) {
+						hops[v], width[v], prev[v] = nh, nw, l.ID
+						changed = true
+					}
+				}
+			}
+		}
+		t.costs[src] = make([]PairCost, n)
+		t.routes[src] = make([][]LinkID, n)
+		for dst := 0; dst < n; dst++ {
+			if dst == src {
+				t.costs[src][dst] = PairCost{
+					LatencyNS:    t.Nodes[src].LocalLatency,
+					BandwidthGBs: t.Nodes[src].LocalBandwidth,
+					Hops:         0,
+					Class:        "local",
+				}
+				continue
+			}
+			if hops[dst] == math.MaxInt32 {
+				return fmt.Errorf("topology %s: node %d unreachable from node %d", t.Name, dst, src)
+			}
+			// Reconstruct the route and find the bottleneck link.
+			var route []LinkID
+			bottleneck := Link{Capacity: math.Inf(1)}
+			for v := NodeID(dst); v != NodeID(src); {
+				l := t.Links[prev[v]]
+				route = append(route, l.ID)
+				if l.Capacity < bottleneck.Capacity {
+					bottleneck = l
+				}
+				if l.A == v {
+					v = l.B
+				} else {
+					v = l.A
+				}
+			}
+			// route was built dst->src; reverse for src->dst order.
+			for i, j := 0, len(route)-1; i < j; i, j = i+1, j-1 {
+				route[i], route[j] = route[j], route[i]
+			}
+			t.routes[src][dst] = route
+			t.costs[src][dst] = classify(NodeID(src), NodeID(dst), hops[dst], bottleneck)
+			t.costs[src][dst].Hops = hops[dst]
+		}
+	}
+	return nil
+}
+
+// NumNodes returns the number of multiprocessors.
+func (t *Topology) NumNodes() int { return len(t.Nodes) }
+
+// NumCores returns the total number of hardware contexts across all nodes.
+func (t *Topology) NumCores() int { return t.totalCores }
+
+// NodeOfCore maps a core to the multiprocessor it belongs to.
+func (t *Topology) NodeOfCore(c CoreID) NodeID { return t.coreNode[c] }
+
+// CoresOfNode returns the half-open core range [first, last) owned by node.
+func (t *Topology) CoresOfNode(n NodeID) (first, last CoreID) {
+	first = t.nodeCore0[n]
+	return first, first + CoreID(t.Nodes[n].Cores)
+}
+
+// Cost returns the calibrated access cost between a source and a home node.
+func (t *Topology) Cost(src, home NodeID) PairCost { return t.costs[src][home] }
+
+// Route returns the link IDs traversed from src to home; empty when local.
+func (t *Topology) Route(src, home NodeID) []LinkID { return t.routes[src][home] }
+
+// TotalLocalBandwidth sums the memory-controller bandwidth of all nodes; it
+// is the theoretical aggregate scan bandwidth of a perfectly local workload.
+func (t *Topology) TotalLocalBandwidth() float64 {
+	var sum float64
+	for i := range t.Nodes {
+		sum += t.Nodes[i].LocalBandwidth
+	}
+	return sum
+}
+
+// TotalMemory sums the modeled local memory capacity of all nodes.
+func (t *Topology) TotalMemory() int64 {
+	var sum int64
+	for i := range t.Nodes {
+		sum += t.Nodes[i].MemoryBytes
+	}
+	return sum
+}
+
+// DistanceClasses returns the distinct remote distance classes of the
+// machine ordered by latency, each with a representative pair. It powers the
+// Table 2 reproduction.
+func (t *Topology) DistanceClasses() []DistanceClass {
+	type key struct{ class string }
+	seen := make(map[string]*DistanceClass)
+	var order []string
+	for src := range t.Nodes {
+		for dst := range t.Nodes {
+			c := t.costs[src][dst]
+			dc, ok := seen[c.Class]
+			if !ok {
+				dc = &DistanceClass{Class: c.Class, Cost: c, Src: NodeID(src), Dst: NodeID(dst)}
+				seen[c.Class] = dc
+				order = append(order, c.Class)
+			}
+			dc.Pairs++
+		}
+	}
+	out := make([]DistanceClass, 0, len(order))
+	for _, cl := range order {
+		out = append(out, *seen[cl])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost.LatencyNS != out[j].Cost.LatencyNS {
+			return out[i].Cost.LatencyNS < out[j].Cost.LatencyNS
+		}
+		return out[i].Cost.BandwidthGBs > out[j].Cost.BandwidthGBs
+	})
+	return out
+}
+
+// DistanceClass summarizes one row of the Table 2 reproduction: a distance
+// class, its calibrated cost, one representative (src, dst) pair, and how
+// many ordered node pairs fall into the class.
+type DistanceClass struct {
+	Class string
+	Cost  PairCost
+	Src   NodeID
+	Dst   NodeID
+	Pairs int
+}
+
+// Validate performs internal consistency checks; it is used by tests and by
+// Machine construction in numasim.
+func (t *Topology) Validate() error {
+	n := len(t.Nodes)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			c := t.costs[src][dst]
+			if c.LatencyNS <= 0 || c.BandwidthGBs <= 0 {
+				return fmt.Errorf("topology %s: non-positive cost for pair %d->%d", t.Name, src, dst)
+			}
+			if (src == dst) != (c.Hops == 0) {
+				return fmt.Errorf("topology %s: hop count %d inconsistent for pair %d->%d", t.Name, c.Hops, src, dst)
+			}
+			if len(t.routes[src][dst]) != c.Hops {
+				return fmt.Errorf("topology %s: route length %d != hops %d for pair %d->%d",
+					t.Name, len(t.routes[src][dst]), c.Hops, src, dst)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func machines() map[string]*Topology {
+	return map[string]*Topology{
+		"intel":  Intel(),
+		"amd":    AMD(),
+		"sgi":    SGI(),
+		"single": SingleNode(4),
+		"mesh":   FullyConnected(3, 2, 20, 100, 8, 200, 10),
+	}
+}
+
+func TestValidateAll(t *testing.T) {
+	for name, topo := range machines() {
+		if err := topo.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCoreNodeMapping(t *testing.T) {
+	for name, topo := range machines() {
+		total := 0
+		for n := range topo.Nodes {
+			first, last := topo.CoresOfNode(NodeID(n))
+			if int(last-first) != topo.Nodes[n].Cores {
+				t.Errorf("%s node %d: core range [%d,%d) != %d cores", name, n, first, last, topo.Nodes[n].Cores)
+			}
+			for c := first; c < last; c++ {
+				if topo.NodeOfCore(c) != NodeID(n) {
+					t.Errorf("%s: core %d maps to node %d, want %d", name, c, topo.NodeOfCore(c), n)
+				}
+			}
+			total += topo.Nodes[n].Cores
+		}
+		if total != topo.NumCores() {
+			t.Errorf("%s: NumCores %d != sum %d", name, topo.NumCores(), total)
+		}
+	}
+}
+
+func TestIntelCalibration(t *testing.T) {
+	topo := Intel()
+	if got := topo.NumCores(); got != 40 {
+		t.Fatalf("cores = %d, want 40", got)
+	}
+	local := topo.Cost(0, 0)
+	if local.BandwidthGBs != 26.7 || local.LatencyNS != 129 {
+		t.Errorf("local cost = %+v, want 26.7 GB/s / 129 ns", local)
+	}
+	remote := topo.Cost(0, 3)
+	if remote.BandwidthGBs != 10.7 || remote.LatencyNS != 193 || remote.Hops != 1 {
+		t.Errorf("remote cost = %+v, want 10.7 GB/s / 193 ns / 1 hop", remote)
+	}
+}
+
+func TestAMDCalibration(t *testing.T) {
+	topo := AMD()
+	if topo.NumNodes() != 8 || topo.NumCores() != 64 {
+		t.Fatalf("nodes=%d cores=%d, want 8/64", topo.NumNodes(), topo.NumCores())
+	}
+	// All six distance classes of Table 2 must be present.
+	classes := map[string]bool{}
+	for _, dc := range topo.DistanceClasses() {
+		classes[dc.Class] = true
+	}
+	for _, want := range []string{
+		"local",
+		"1 hop HT (full link)",
+		"1 hop HT (split,single)",
+		"1 hop HT (split,dual)",
+		"2 hop HT (split,single)",
+		"2 hop HT (split,dual)",
+	} {
+		if !classes[want] {
+			t.Errorf("missing distance class %q (have %v)", want, classes)
+		}
+	}
+	// Socket-partner pairs use the full link.
+	for _, pair := range [][2]NodeID{{0, 1}, {2, 3}, {4, 5}, {6, 7}} {
+		c := topo.Cost(pair[0], pair[1])
+		if c.Class != "1 hop HT (full link)" || c.BandwidthGBs != 5.8 {
+			t.Errorf("pair %v: %+v, want full link 5.8 GB/s", pair, c)
+		}
+	}
+	// Diameter is two hops.
+	for src := 0; src < 8; src++ {
+		for dst := 0; dst < 8; dst++ {
+			if h := topo.Cost(NodeID(src), NodeID(dst)).Hops; h > 2 {
+				t.Errorf("pair %d->%d: %d hops, want <= 2", src, dst, h)
+			}
+		}
+	}
+}
+
+func TestSGICalibration(t *testing.T) {
+	topo := SGI()
+	if topo.NumNodes() != 64 || topo.NumCores() != 512 {
+		t.Fatalf("nodes=%d cores=%d, want 64/512", topo.NumNodes(), topo.NumCores())
+	}
+	// Blade partners are the "2nd processor" class.
+	c := topo.Cost(0, 1)
+	if c.Class != "2nd processor" || c.BandwidthGBs != 9.5 || c.LatencyNS != 400 {
+		t.Errorf("blade partner cost = %+v", c)
+	}
+	// Worst case must reach the 4-hop class: latency ratio to local ~ 10.7x,
+	// bandwidth ratio ~ 5.5x (Section 2.2.3).
+	worst := PairCost{}
+	for src := 0; src < 64; src++ {
+		for dst := 0; dst < 64; dst++ {
+			pc := topo.Cost(NodeID(src), NodeID(dst))
+			if pc.LatencyNS > worst.LatencyNS {
+				worst = pc
+			}
+		}
+	}
+	if worst.LatencyNS != 870 || worst.BandwidthGBs != 6.5 {
+		t.Errorf("worst-case cost = %+v, want 870 ns / 6.5 GB/s", worst)
+	}
+	local := topo.Cost(0, 0)
+	if r := worst.LatencyNS / local.LatencyNS; math.Abs(r-10.7) > 0.1 {
+		t.Errorf("latency ratio = %.2f, want ~10.7", r)
+	}
+	if r := local.BandwidthGBs / worst.BandwidthGBs; math.Abs(r-5.57) > 0.1 {
+		t.Errorf("bandwidth ratio = %.2f, want ~5.5", r)
+	}
+}
+
+func TestSGISubsetSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 61, 64} {
+		topo := SGISubset(n)
+		if err := topo.Validate(); err != nil {
+			t.Errorf("subset %d: %v", n, err)
+		}
+		want := n
+		if n%2 == 1 && n > 1 {
+			want = n + 1
+		}
+		if topo.NumNodes() != want {
+			t.Errorf("subset %d: got %d nodes, want %d", n, topo.NumNodes(), want)
+		}
+	}
+}
+
+func TestRoutesTraverseDeclaredLinks(t *testing.T) {
+	for name, topo := range machines() {
+		for src := 0; src < topo.NumNodes(); src++ {
+			for dst := 0; dst < topo.NumNodes(); dst++ {
+				route := topo.Route(NodeID(src), NodeID(dst))
+				// The route must form a connected path from src to dst.
+				at := NodeID(src)
+				for _, lid := range route {
+					l := topo.Links[lid]
+					switch at {
+					case l.A:
+						at = l.B
+					case l.B:
+						at = l.A
+					default:
+						t.Fatalf("%s: route %d->%d: link %d does not touch node %d", name, src, dst, lid, at)
+					}
+				}
+				if at != NodeID(dst) {
+					t.Errorf("%s: route %d->%d ends at %d", name, src, dst, at)
+				}
+			}
+		}
+	}
+}
+
+func TestDistanceClassesCoverAllPairs(t *testing.T) {
+	for name, topo := range machines() {
+		total := 0
+		for _, dc := range topo.DistanceClasses() {
+			total += dc.Pairs
+		}
+		if want := topo.NumNodes() * topo.NumNodes(); total != want {
+			t.Errorf("%s: distance classes cover %d pairs, want %d", name, total, want)
+		}
+	}
+}
+
+func TestSpecKnownMachines(t *testing.T) {
+	if s := Spec(Intel()); s.Cores != "40 cores (80 HW threads)" {
+		t.Errorf("intel spec cores = %q", s.Cores)
+	}
+	if s := Spec(AMD()); s.LLC != "12 MB LLC per socket (2 x 6 MB)" {
+		t.Errorf("amd spec llc = %q", s.LLC)
+	}
+	if s := Spec(SGI()); s.Processors != "64x Intel Xeon E5-4650L" {
+		t.Errorf("sgi spec processors = %q", s.Processors)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"intel", "amd", "sgi", "single"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("cray"); err == nil {
+		t.Error("ByName(cray) should fail")
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	good := Node{ID: 0, Cores: 1, LocalBandwidth: 1, LocalLatency: 1}
+	if _, err := New("empty", nil, nil, 1, 1, nil); err == nil {
+		t.Error("empty topology accepted")
+	}
+	if _, err := New("badid", []Node{{ID: 5, Cores: 1, LocalBandwidth: 1, LocalLatency: 1}}, nil, 1, 1, nil); err == nil {
+		t.Error("non-dense node IDs accepted")
+	}
+	if _, err := New("selfloop", []Node{good}, []Link{{A: 0, B: 0, Capacity: 1}}, 1, 1, nil); err == nil {
+		t.Error("self-loop link accepted")
+	}
+	two := []Node{good, {ID: 1, Cores: 1, LocalBandwidth: 1, LocalLatency: 1}}
+	if _, err := New("disconnected", two, nil, 1, 1, nil); err == nil {
+		t.Error("disconnected topology accepted")
+	}
+}
