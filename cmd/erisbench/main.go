@@ -10,9 +10,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"eris/internal/bench"
@@ -22,6 +24,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced sizes/durations")
 	scale := flag.Float64("scale", 0, "override the data scale-down factor (default 2048)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	metricsDir := flag.String("metricsdir", "", "write a <id>-metrics.json engine-metrics sidecar per experiment into this directory")
 	flag.Parse()
 
 	if *list {
@@ -53,6 +56,25 @@ func main() {
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
+		if runs := bench.TakeRunMetrics(); *metricsDir != "" && len(runs) > 0 {
+			if err := writeMetricsSidecar(*metricsDir, exp.ID, runs); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: metrics sidecar: %v\n", exp.ID, err)
+				os.Exit(1)
+			}
+		}
 		fmt.Printf("(%s completed in %.1fs)\n\n", exp.ID, time.Since(start).Seconds())
 	}
+}
+
+// writeMetricsSidecar stores the experiment's per-run engine metrics as
+// <dir>/<id>-metrics.json next to the printed tables.
+func writeMetricsSidecar(dir, id string, runs []bench.RunMetrics) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, id+"-metrics.json"), append(data, '\n'), 0o644)
 }

@@ -29,11 +29,13 @@ func main() {
 	mix := flag.String("mix", "lookup", "workload: lookup, upsert, or scan")
 	balancer := flag.String("balancer", "", "load balancing algorithm (oneshot, maN; empty = off)")
 	hot := flag.Float64("hot", 0, "restrict lookups to the first fraction of the domain (0 = uniform)")
+	metricsAddr := flag.String("metricsaddr", "", "serve live engine metrics as JSON on this address (e.g. 127.0.0.1:0)")
 	flag.Parse()
 
 	db, err := eris.Open(eris.Options{
 		Machine: *machine, Workers: *workers,
 		Balancer: *balancer, BalancerIntervalSec: *dur / 10,
+		MetricsAddr: *metricsAddr,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -82,17 +84,28 @@ func main() {
 	if err := db.Start(); err != nil {
 		log.Fatal(err)
 	}
+	if addr := db.MetricsListenAddr(); addr != "" {
+		fmt.Printf("metrics: http://%s/metrics\n", addr)
+	}
 	session := hwcounter.Start(db.Engine().Machine())
+	before := db.MetricsSnapshot()
 	start := time.Now()
 	if err := db.Engine().WaitVirtual(*dur, 30*time.Minute); err != nil {
 		log.Fatal(err)
 	}
 	report := session.Report()
+	delta := db.MetricsSnapshot().Delta(before)
 	db.Close()
 
 	fmt.Printf("machine %s, %d AEUs, %s workload over %d keys\n",
 		*machine, db.Engine().NumAEUs(), *mix, *keys)
 	fmt.Print(report)
+	fmt.Printf("routing: %d inbox appends, %d swaps, %d overflows, %d outbox flushes, %d routed keys\n",
+		delta.SumCounters("routing.inbox.", ".appends"),
+		delta.SumCounters("routing.inbox.", ".swaps"),
+		delta.SumCounters("routing.inbox.", ".overflows"),
+		delta.SumCounters("routing.outbox.", ".flushes"),
+		delta.SumCounters("routing.outbox.", ".routed_keys"))
 	if cycles := db.Engine().Balancer().Cycles(); len(cycles) > 0 {
 		fmt.Printf("balancing cycles: %d\n", len(cycles))
 	}

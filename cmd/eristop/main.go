@@ -19,6 +19,7 @@ import (
 	"eris"
 	"eris/internal/aeu"
 	"eris/internal/command"
+	"eris/internal/metrics"
 	"eris/internal/workload"
 )
 
@@ -72,7 +73,7 @@ func main() {
 
 	e := db.Engine()
 	epoch := e.Machine().StartEpoch()
-	prevOps := make([]int64, e.NumAEUs())
+	prev := db.MetricsSnapshot()
 	done := make(chan error, 1)
 	go func() { done <- e.WaitVirtual(durSec, 10*time.Minute) }()
 
@@ -84,21 +85,25 @@ func main() {
 				log.Fatal(err)
 			}
 			db.Close()
-			printFrame(db, prevOps, epoch, frame, true)
+			prev = printFrame(db, prev, epoch, frame, true)
 			return
 		case <-time.After(*refresh):
 			frame++
-			printFrame(db, prevOps, epoch, frame, false)
+			prev = printFrame(db, prev, epoch, frame, false)
 		}
 	}
 }
 
-func printFrame(db *eris.DB, prevOps []int64, epoch interface {
+// printFrame renders one top frame from the interval delta between the
+// previous metrics snapshot and now, returning the new snapshot.
+func printFrame(db *eris.DB, prev metrics.Snapshot, epoch interface {
 	Throughput() float64
 	LinkBandwidthGBs() float64
 	MCBandwidthGBs() float64
-}, frame int, final bool) {
+}, frame int, final bool) metrics.Snapshot {
 	e := db.Engine()
+	snap := db.MetricsSnapshot()
+	delta := snap.Delta(prev)
 	header := fmt.Sprintf("--- frame %d  t=%.4fs virtual  %.1f M ops/s  links %.1f GB/s  mem %.1f GB/s ---",
 		frame, e.MinClockSec(), epoch.Throughput()/1e6, epoch.LinkBandwidthGBs(), epoch.MCBandwidthGBs())
 	if final {
@@ -110,10 +115,8 @@ func printFrame(db *eris.DB, prevOps []int64, epoch interface {
 	domain, _ := e.Domain(1)
 	var maxDelta int64 = 1
 	deltas := make([]int64, e.NumAEUs())
-	for i, a := range e.AEUs() {
-		ops := a.Stats().Ops
-		deltas[i] = ops - prevOps[i]
-		prevOps[i] = ops
+	for i := range deltas {
+		deltas[i] = delta.Counter(fmt.Sprintf("aeu.%d.ops", i))
 		if deltas[i] > maxDelta {
 			maxDelta = deltas[i]
 		}
@@ -128,10 +131,32 @@ func printFrame(db *eris.DB, prevOps []int64, epoch interface {
 		fmt.Printf("AEU %2d  node %d  range [%7d,%7d)  %8d keys  +%-8d %s\n",
 			a.ID, a.Node, lo, hi, a.Partition(1).SizeTuples(), deltas[i], bar)
 	}
+	fmt.Printf("routing: +%d inbox appends  +%d swaps  +%d overflows  +%d outbox flushes  +%d routed keys  link +%s  mem +%s\n",
+		delta.SumCounters("routing.inbox.", ".appends"),
+		delta.SumCounters("routing.inbox.", ".swaps"),
+		delta.SumCounters("routing.inbox.", ".overflows"),
+		delta.SumCounters("routing.outbox.", ".flushes"),
+		delta.SumCounters("routing.outbox.", ".routed_keys"),
+		fmtBytes(delta.Counter("machine.link_bytes_total")),
+		fmtBytes(delta.Counter("machine.mc_bytes_total")))
 	if cycles := e.Balancer().Cycles(); len(cycles) > 0 {
 		last := cycles[len(cycles)-1]
 		fmt.Printf("balancer: %d cycles, last at t=%.4fs (%s, imbalance %.2f, ~%d tuples)\n",
 			len(cycles), last.TimeSec, last.Algorithm, last.Imbalance, last.MovedEst)
 	}
 	fmt.Println()
+	return snap
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }

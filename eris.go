@@ -27,6 +27,7 @@ import (
 	"eris/internal/balance"
 	"eris/internal/colstore"
 	"eris/internal/core"
+	"eris/internal/metrics"
 	"eris/internal/numasim"
 	"eris/internal/prefixtree"
 	"eris/internal/routing"
@@ -73,6 +74,11 @@ type Options struct {
 	// capacity when the data is scaled down; 1 models the full machine.
 	ModelCaches bool
 	CacheScale  float64
+	// MetricsAddr, when non-empty, serves the engine's metrics snapshot
+	// as JSON over HTTP (GET /metrics) while the engine runs. Use
+	// "127.0.0.1:0" for an ephemeral port; MetricsListenAddr reports the
+	// bound address after Start.
+	MetricsAddr string
 }
 
 // DB is an open engine instance.
@@ -106,11 +112,12 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	e, err := core.New(core.Config{
-		Topology: topo,
-		NumAEUs:  opts.Workers,
-		Machine:  machineCfg,
-		Tree:     prefixtree.Config{KeyBits: opts.KeyBits, PrefixBits: 8},
-		Balance:  balance.Config{SampleIntervalSec: opts.BalancerIntervalSec},
+		Topology:    topo,
+		NumAEUs:     opts.Workers,
+		Machine:     machineCfg,
+		Tree:        prefixtree.Config{KeyBits: opts.KeyBits, PrefixBits: 8},
+		Balance:     balance.Config{SampleIntervalSec: opts.BalancerIntervalSec},
+		MetricsAddr: opts.MetricsAddr,
 	})
 	if err != nil {
 		return nil, err
@@ -148,6 +155,14 @@ func (db *DB) newObject(name string) (routing.ObjectID, error) {
 	return db.nextID, nil
 }
 
+// dropObject rolls back the name registration after a failed create. The ID
+// itself is never reused: a partially failed engine.CreateIndex may already
+// have attached partitions under it, and handing the same ID to a later
+// object would alias them.
+func (db *DB) dropObject(name string) {
+	delete(db.byName, name)
+}
+
 // Index is a range-partitioned prefix-tree index object.
 type Index struct {
 	db     *DB
@@ -164,11 +179,12 @@ func (db *DB) CreateIndex(name string, domain uint64) (*Index, error) {
 		return nil, err
 	}
 	if err := db.engine.CreateIndex(id, domain); err != nil {
-		delete(db.byName, name)
+		db.dropObject(name)
 		return nil, err
 	}
 	if db.alg != nil {
 		if err := db.engine.Watch(id, db.alg); err != nil {
+			db.dropObject(name)
 			return nil, err
 		}
 	}
@@ -223,11 +239,12 @@ func (db *DB) CreateColumn(name string) (*Column, error) {
 		return nil, err
 	}
 	if err := db.engine.CreateColumn(id); err != nil {
-		delete(db.byName, name)
+		db.dropObject(name)
 		return nil, err
 	}
 	if db.alg != nil {
 		if err := db.engine.Watch(id, db.alg); err != nil {
+			db.dropObject(name)
 			return nil, err
 		}
 	}
@@ -280,3 +297,13 @@ func (db *DB) Stats() Stats {
 
 // Workers returns the AEU handles for advanced instrumentation.
 func (db *DB) Workers() []*aeu.AEU { return db.engine.AEUs() }
+
+// MetricsSnapshot captures every engine instrument — routing buffers,
+// AEUs, balancer, memory managers, interconnect — at one instant. Pair two
+// snapshots with Snapshot.Delta for interval rates; the snapshot marshals
+// to JSON.
+func (db *DB) MetricsSnapshot() metrics.Snapshot { return db.engine.MetricsSnapshot() }
+
+// MetricsListenAddr returns the bound address of the metrics HTTP endpoint
+// ("" when Options.MetricsAddr was empty or Start has not run).
+func (db *DB) MetricsListenAddr() string { return db.engine.MetricsListenAddr() }

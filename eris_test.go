@@ -1,7 +1,12 @@
 package eris
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"testing"
+
+	"eris/internal/metrics"
 )
 
 func TestOpenDefaults(t *testing.T) {
@@ -125,6 +130,142 @@ func TestPredicates(t *testing.T) {
 		if got := c.p.Matches(c.v); got != c.want {
 			t.Errorf("%+v.Matches(%d) = %v", c.p, c.v, got)
 		}
+	}
+}
+
+// TestFailedCreateRollsBackName is the regression test for the create
+// rollback bug: a failed CreateIndex/CreateColumn left the name registered
+// in db.byName, so the name was burned forever while no object existed.
+func TestFailedCreateRollsBackName(t *testing.T) {
+	db, err := Open(Options{Machine: "single", Workers: 4, Balancer: "oneshot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Domain smaller than the AEU count: engine.CreateIndex fails after
+	// the name was registered.
+	if _, err := db.CreateIndex("orders", 2); err == nil {
+		t.Fatal("domain 2 with 4 workers accepted")
+	}
+	if id, stale := db.byName["orders"]; stale {
+		t.Fatalf("failed create left %q registered as id %d", "orders", id)
+	}
+	burned := db.nextID
+
+	// The name must be reusable after the failure.
+	idx, err := db.CreateIndex("orders", 1<<16)
+	if err != nil {
+		t.Fatalf("name not reusable after failed create: %v", err)
+	}
+	if idx.Name() != "orders" {
+		t.Fatalf("reused name = %q", idx.Name())
+	}
+	// The failed create's ID must NOT be reused: a partially failed
+	// engine create may have attached partitions under it.
+	if idx.id <= burned {
+		t.Fatalf("id %d reused after failed create (burned through %d)", idx.id, burned)
+	}
+
+	// Same rollback contract for columns.
+	if _, err := db.CreateColumn("orders"); err == nil {
+		t.Fatal("duplicate name accepted across kinds")
+	}
+	col, err := db.CreateColumn("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.id <= idx.id {
+		t.Fatalf("ids not monotonic: column %d after index %d", col.id, idx.id)
+	}
+	if got := db.byName["events"]; got != col.id {
+		t.Fatalf("byName[events] = %d, want %d", got, col.id)
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	db, err := Open(Options{Machine: "single", Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	idx, err := db.CreateIndex("orders", 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.LoadDense(1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Start(); err != nil {
+		t.Fatal(err)
+	}
+	before := db.MetricsSnapshot()
+	if _, err := idx.Lookup([]uint64{1, 2, 3, 40000}); err != nil {
+		t.Fatal(err)
+	}
+	after := db.MetricsSnapshot()
+	delta := after.Delta(before)
+
+	if ops := delta.SumCounters("aeu.", ".ops"); ops <= 0 {
+		t.Fatalf("aeu ops delta = %d after lookups", ops)
+	}
+	if app := after.SumCounters("routing.inbox.", ".appends"); app <= 0 {
+		t.Fatalf("inbox appends = %d", app)
+	}
+	// Client commands inject straight into inboxes, so outbox flushes may
+	// be zero here — but every AEU's outbox counters must be registered.
+	if names := after.CounterNames("routing.outbox.", ".flushes"); len(names) != db.Stats().Workers {
+		t.Fatalf("outbox flush counters = %v, want one per worker", names)
+	}
+	if _, ok := after.Gauges["mem.allocated_bytes_total"]; !ok {
+		t.Fatal("mem.allocated_bytes_total missing")
+	}
+	if _, ok := after.Counters["machine.link_bytes_total"]; !ok {
+		t.Fatal("machine.link_bytes_total missing")
+	}
+	if _, ok := after.Counters["balance.cycles"]; !ok {
+		t.Fatal("balance.cycles missing")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	db, err := Open(Options{Machine: "single", Workers: 2, MetricsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.CreateIndex("t", 1<<10); err != nil {
+		t.Fatal(err)
+	}
+	if db.MetricsListenAddr() != "" {
+		t.Fatal("endpoint bound before Start")
+	}
+	if err := db.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := db.MetricsListenAddr()
+	if addr == "" {
+		t.Fatal("no listen address after Start")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d, err %v", resp.StatusCode, err)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("endpoint body not a snapshot: %v", err)
+	}
+	if len(snap.Counters) == 0 {
+		t.Fatal("endpoint snapshot has no counters")
+	}
+	db.Close()
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("endpoint still serving after Close")
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"eris/internal/colstore"
 	"eris/internal/command"
 	"eris/internal/mem"
+	"eris/internal/metrics"
 	"eris/internal/numasim"
 	"eris/internal/prefixtree"
 	"eris/internal/routing"
@@ -176,11 +177,14 @@ type AEU struct {
 	order   []groupKey
 	noCoSeq uint64 // distinct group keys when coalescing is disabled
 
-	// Stats.
-	opsDone     atomic.Int64
-	forwards    atomic.Int64
-	deferredCnt atomic.Int64
-	iterations  atomic.Int64
+	// Counters, registered on the engine's metrics registry under
+	// aeu.<id>.*; groupNS is the per-AEU command-group processing-time
+	// histogram (virtual nanoseconds).
+	opsDone     *metrics.Counter
+	forwards    *metrics.Counter
+	deferredCnt *metrics.Counter
+	iterations  *metrics.Counter
+	groupNS     *metrics.Histogram
 }
 
 type groupKey struct {
@@ -201,6 +205,8 @@ type group struct {
 func New(r *routing.Router, mems *mem.System, id uint32, cfg Config) *AEU {
 	machine := r.Machine()
 	core := topology.CoreID(id)
+	reg := r.Metrics()
+	prefix := fmt.Sprintf("aeu.%d.", id)
 	return &AEU{
 		ID:             id,
 		Core:           core,
@@ -214,6 +220,13 @@ func New(r *routing.Router, mems *mem.System, id uint32, cfg Config) *AEU {
 		pendingFetches: make(map[uint64]int),
 		groups:         make(map[groupKey]*group),
 		Rng:            rand.New(rand.NewSource(int64(id)*7919 + 17)),
+		opsDone:        reg.Counter(prefix + "ops"),
+		forwards:       reg.Counter(prefix + "forwards"),
+		deferredCnt:    reg.Counter(prefix + "deferred"),
+		iterations:     reg.Counter(prefix + "iterations"),
+		// 250 ns to ~65 ms in 10 exponential buckets: command groups span
+		// single-key lookups to full partition scans.
+		groupNS: reg.Histogram(prefix+"group_ns", metrics.ExpBuckets(250, 4, 10)),
 	}
 }
 

@@ -158,6 +158,7 @@ func (a *AEU) processGroups() {
 		elapsed := a.machine.Clock(a.Core) - start
 		p.cmdTimePS.Add(elapsed)
 		p.cmdCount.Add(1)
+		a.groupNS.Observe(elapsed / 1000)
 		delete(a.groups, k)
 	}
 	a.order = a.order[:0]

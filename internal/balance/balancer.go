@@ -7,6 +7,7 @@ import (
 
 	"eris/internal/aeu"
 	"eris/internal/command"
+	"eris/internal/metrics"
 	"eris/internal/routing"
 	"eris/internal/topology"
 )
@@ -97,18 +98,31 @@ type Balancer struct {
 
 	mu     sync.Mutex
 	cycles []Cycle
+
+	// Counters on the engine's metrics registry (balance.*).
+	cycleCnt   *metrics.Counter
+	movedEst   *metrics.Counter
+	involved   *metrics.Counter
+	evaluated  *metrics.Counter
+	skippedImb *metrics.Counter
 }
 
 // New creates a balancer over the engine's AEUs. The caller must install
 // the balancer's Ack as every AEU's epoch-done callback.
 func New(router *routing.Router, aeus []*aeu.AEU, cfg Config) *Balancer {
+	reg := router.Metrics()
 	return &Balancer{
-		router: router,
-		aeus:   aeus,
-		cfg:    cfg.withDefaults(),
-		acks:   make(chan ack, 8*len(aeus)+16),
-		stopCh: make(chan struct{}),
-		doneCh: make(chan struct{}),
+		router:     router,
+		aeus:       aeus,
+		cfg:        cfg.withDefaults(),
+		acks:       make(chan ack, 8*len(aeus)+16),
+		stopCh:     make(chan struct{}),
+		doneCh:     make(chan struct{}),
+		cycleCnt:   reg.Counter("balance.cycles"),
+		movedEst:   reg.Counter("balance.moved_tuples_est"),
+		involved:   reg.Counter("balance.involved_aeus"),
+		evaluated:  reg.Counter("balance.evaluations"),
+		skippedImb: reg.Counter("balance.below_threshold"),
 	}
 }
 
@@ -201,9 +215,11 @@ func (b *Balancer) Stop() {
 // evaluate samples one object and runs a balancing cycle when the
 // imbalance exceeds the threshold.
 func (b *Balancer) evaluate(w *watched, nowSec float64) {
+	b.evaluated.Inc()
 	loads := b.SampleLoads(*w)
 	imb := Imbalance(loads)
 	if imb <= b.cfg.Threshold {
+		b.skippedImb.Inc()
 		return
 	}
 	var (
@@ -236,6 +252,9 @@ func (b *Balancer) evaluate(w *watched, nowSec float64) {
 	}
 	start := time.Now()
 	b.waitAcks(plan.Epoch, plan.Involved())
+	b.cycleCnt.Inc()
+	b.movedEst.Add(int64(plan.MovedTuplesEstimate))
+	b.involved.Add(int64(plan.Involved()))
 	b.mu.Lock()
 	b.cycles = append(b.cycles, Cycle{
 		Epoch: plan.Epoch, Object: w.obj, TimeSec: nowSec,

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"sync"
+
+	"eris/internal/metrics"
+)
+
+// RunMetrics is the metrics sidecar of one measured engine run: the full
+// registry snapshot at the start and end of the counter window plus the
+// window delta, so a run's routing, AEU, memory, and interconnect activity
+// can be analyzed next to its throughput table.
+type RunMetrics struct {
+	DurSec float64          `json:"dur_sec"`
+	Start  metrics.Snapshot `json:"start"`
+	End    metrics.Snapshot `json:"end"`
+	Delta  metrics.Snapshot `json:"delta"`
+}
+
+var (
+	runMetricsMu sync.Mutex
+	runMetrics   []RunMetrics
+)
+
+func recordRunMetrics(rm RunMetrics) {
+	runMetricsMu.Lock()
+	runMetrics = append(runMetrics, rm)
+	runMetricsMu.Unlock()
+}
+
+// TakeRunMetrics returns the sidecars of every engine run measured since
+// the last call and resets the collector. Shared-baseline runs have no
+// engine (and no registry), so they contribute no entries.
+func TakeRunMetrics() []RunMetrics {
+	runMetricsMu.Lock()
+	defer runMetricsMu.Unlock()
+	out := runMetrics
+	runMetrics = nil
+	return out
+}

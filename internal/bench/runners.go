@@ -52,18 +52,27 @@ func (s setup) engineConfig() core.Config {
 }
 
 // runMeasured starts the engine, opens a counter window, waits durSec of
-// virtual time and returns the report.
+// virtual time and returns the report. The engine's metrics snapshots at
+// window start and end are recorded for TakeRunMetrics.
 func runMeasured(e *core.Engine, durSec float64) (hwcounter.Report, error) {
 	if err := e.Start(); err != nil {
 		return hwcounter.Report{}, err
 	}
 	session := hwcounter.Start(e.Machine())
+	startSnap := e.MetricsSnapshot()
 	if err := e.WaitVirtual(durSec, realTimeout); err != nil {
 		e.Stop()
 		return hwcounter.Report{}, err
 	}
 	report := session.Report()
+	endSnap := e.MetricsSnapshot()
 	e.Stop()
+	recordRunMetrics(RunMetrics{
+		DurSec: durSec,
+		Start:  startSnap,
+		End:    endSnap,
+		Delta:  endSnap.Delta(startSnap),
+	})
 	return report, nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"eris/internal/colstore"
 	"eris/internal/csbtree"
 	"eris/internal/mem"
+	"eris/internal/metrics"
 	"eris/internal/numasim"
 	"eris/internal/prefixtree"
 	"eris/internal/routing"
@@ -42,6 +43,11 @@ type Config struct {
 	// Balance configures the load balancer; the balancer goroutine only
 	// runs when at least one object is watched.
 	Balance balance.Config
+	// MetricsAddr, when non-empty, serves the engine's metrics snapshot as
+	// JSON over HTTP (GET /metrics) for the engine's lifetime. Use
+	// "127.0.0.1:0" for an ephemeral port; MetricsListenAddr reports the
+	// bound address after Start.
+	MetricsAddr string
 }
 
 // objectMeta is engine-side bookkeeping per data object.
@@ -63,6 +69,9 @@ type Engine struct {
 
 	objects map[routing.ObjectID]*objectMeta
 	watched bool
+
+	reg       *metrics.Registry
+	metricsRv *metrics.Server
 
 	started bool
 	stopped bool
@@ -90,15 +99,23 @@ func New(cfg Config) (*Engine, error) {
 	if n == 0 {
 		n = cfg.Topology.NumCores()
 	}
+	reg := cfg.Routing.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+		cfg.Routing.Metrics = reg
+	}
 	router, err := routing.New(machine, mems, n, cfg.Routing)
 	if err != nil {
 		return nil, err
 	}
+	machine.RegisterMetrics(reg)
+	mems.RegisterMetrics(reg)
 	e := &Engine{
 		cfg:     cfg,
 		machine: machine,
 		mems:    mems,
 		router:  router,
+		reg:     reg,
 		objects: make(map[routing.ObjectID]*objectMeta),
 		pending: make(map[uint64]*pendingOp),
 	}
@@ -117,6 +134,24 @@ func New(cfg Config) (*Engine, error) {
 
 // Machine exposes the simulated machine (epochs, counters, clocks).
 func (e *Engine) Machine() *numasim.Machine { return e.machine }
+
+// Metrics returns the engine-wide metrics registry. Every component —
+// routing inboxes/outboxes, AEUs, the balancer, the per-node memory
+// managers, and the machine's interconnect counters — registers here.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// MetricsSnapshot captures every registered instrument at one instant.
+// Pair two snapshots with Delta for interval rates.
+func (e *Engine) MetricsSnapshot() metrics.Snapshot { return e.reg.Snapshot() }
+
+// MetricsListenAddr returns the bound address of the metrics HTTP
+// endpoint, or "" when Config.MetricsAddr was empty or Start has not run.
+func (e *Engine) MetricsListenAddr() string {
+	if e.metricsRv == nil {
+		return ""
+	}
+	return e.metricsRv.Addr()
+}
 
 // Router exposes the routing layer.
 func (e *Engine) Router() *routing.Router { return e.router }
@@ -260,6 +295,13 @@ func (e *Engine) Start() error {
 	if e.started {
 		return fmt.Errorf("core: already started")
 	}
+	if e.cfg.MetricsAddr != "" {
+		srv, err := metrics.Serve(e.cfg.MetricsAddr, e.reg.Snapshot)
+		if err != nil {
+			return fmt.Errorf("core: metrics endpoint: %w", err)
+		}
+		e.metricsRv = srv
+	}
 	e.started = true
 	for _, a := range e.aeus {
 		e.wg.Add(1)
@@ -325,6 +367,10 @@ func (e *Engine) Stop() {
 		if !busy {
 			break
 		}
+	}
+	if e.metricsRv != nil {
+		e.metricsRv.Close()
+		e.metricsRv = nil
 	}
 }
 

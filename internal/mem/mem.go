@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"eris/internal/metrics"
 	"eris/internal/numasim"
 	"eris/internal/topology"
 )
@@ -234,6 +235,23 @@ func (s *System) TotalAllocated() int64 {
 		sum += m.AllocatedBytes()
 	}
 	return sum
+}
+
+// RegisterMetrics publishes every node manager's counters on reg:
+// allocation levels as gauges (mem.node.<n>.allocated_bytes, peak_bytes)
+// and allocator activity as cumulative counters (mem.node.<n>.lock_allocs,
+// cache_hits). The managers keep their own atomics; the registry reads them
+// on snapshot, so the allocation hot path is untouched.
+func (s *System) RegisterMetrics(reg *metrics.Registry) {
+	for i, mgr := range s.managers {
+		mgr := mgr
+		prefix := fmt.Sprintf("mem.node.%d.", i)
+		reg.GaugeFunc(prefix+"allocated_bytes", mgr.AllocatedBytes)
+		reg.GaugeFunc(prefix+"peak_bytes", mgr.PeakBytes)
+		reg.CounterFunc(prefix+"lock_allocs", mgr.lockAllocs.Load)
+		reg.CounterFunc(prefix+"cache_hits", mgr.cacheHits.Load)
+	}
+	reg.GaugeFunc("mem.allocated_bytes_total", s.TotalAllocated)
 }
 
 // InterleavedAlloc allocates n blocks of the given size round-robin across

@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d", got)
+	}
+	if r.Counter("x.count") != c {
+		t.Fatal("get-or-create returned a new counter")
+	}
+	g := r.Gauge("x.level")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d", got)
+	}
+	r.CounterFunc("x.fn", func() int64 { return 42 })
+	r.GaugeFunc("x.gfn", func() int64 { return -1 })
+
+	s := r.Snapshot()
+	if s.Counter("x.count") != 5 || s.Counter("x.fn") != 42 {
+		t.Fatalf("snapshot counters = %+v", s.Counters)
+	}
+	if s.Gauge("x.level") != 7 || s.Gauge("x.gfn") != -1 {
+		t.Fatalf("snapshot gauges = %+v", s.Gauges)
+	}
+	if s.UnixNano == 0 {
+		t.Fatal("no timestamp")
+	}
+}
+
+func TestNameKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind collision")
+		}
+	}()
+	r.Gauge("dup")
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	want := []int64{2, 2, 0, 1} // <=10: {1,10}; <=100: {11,100}; <=1000: none; over: 5000
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 || s.Sum != 5122 {
+		t.Fatalf("count %d sum %d", s.Count, s.Sum)
+	}
+	if m := s.Mean(); m != 5122.0/5 {
+		t.Fatalf("mean = %f", m)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(100, 4, 4)
+	want := []int64{100, 400, 1600, 6400}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v", b)
+		}
+	}
+}
+
+func TestDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	g := r.Gauge("bytes")
+	h := r.Histogram("ns", []int64{10, 100})
+	c.Add(5)
+	g.Set(100)
+	h.Observe(7)
+	prev := r.Snapshot()
+	c.Add(3)
+	g.Set(50)
+	h.Observe(70)
+	h.Observe(7)
+	d := r.Snapshot().Delta(prev)
+	if d.Counter("ops") != 3 {
+		t.Fatalf("counter delta = %d", d.Counter("ops"))
+	}
+	if d.Gauge("bytes") != 50 {
+		t.Fatalf("gauge delta = %d (gauges report the current level)", d.Gauge("bytes"))
+	}
+	dh := d.Histograms["ns"]
+	if dh.Count != 2 || dh.Sum != 77 || dh.Counts[0] != 1 || dh.Counts[1] != 1 {
+		t.Fatalf("hist delta = %+v", dh)
+	}
+	// Instruments absent from prev are reported in full.
+	r.Counter("late").Inc()
+	d = r.Snapshot().Delta(prev)
+	if d.Counter("late") != 1 {
+		t.Fatalf("late counter delta = %d", d.Counter("late"))
+	}
+}
+
+func TestSumAndNames(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 4; i++ {
+		r.Counter(fmt.Sprintf("aeu.%d.ops", i)).Add(int64(i + 1))
+		r.Counter(fmt.Sprintf("aeu.%d.forwards", i)).Inc()
+	}
+	s := r.Snapshot()
+	if got := s.SumCounters("aeu.", ".ops"); got != 10 {
+		t.Fatalf("sum = %d", got)
+	}
+	names := s.CounterNames("aeu.", ".ops")
+	if len(names) != 4 || names[0] != "aeu.0.ops" || names[3] != "aeu.3.ops" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(7)
+	r.Gauge("b").Set(-2)
+	r.Histogram("h", []int64{1}).Observe(3)
+	s := r.Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counter("a") != 7 || back.Gauge("b") != -2 || back.Histograms["h"].Count != 1 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+// TestConcurrentUse hammers registration, updates and snapshots from many
+// goroutines; run under -race this is the registry's thread-safety proof.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter(fmt.Sprintf("w.%d.ops", w))
+			h := r.Histogram("shared.lat", []int64{10, 100, 1000})
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.SumCounters("w.", ".ops"); got != 8000 {
+		t.Fatalf("total ops = %d", got)
+	}
+	if s.Histograms["shared.lat"].Count != 8000 {
+		t.Fatalf("hist count = %d", s.Histograms["shared.lat"].Count)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	srv, err := Serve("127.0.0.1:0", r.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		var s Snapshot
+		if err := json.Unmarshal(body, &s); err != nil {
+			t.Fatalf("%s: %v (%s)", path, err, body)
+		}
+		if s.Counter("hits") != 3 {
+			t.Fatalf("%s: hits = %d", path, s.Counter("hits"))
+		}
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown path: status %d", resp.StatusCode)
+	}
+}

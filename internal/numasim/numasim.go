@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"eris/internal/cache"
+	"eris/internal/metrics"
 	"eris/internal/topology"
 )
 
@@ -112,6 +113,39 @@ func New(topo *topology.Topology, cfg Config) (*Machine, error) {
 
 // Topology returns the machine's topology.
 func (m *Machine) Topology() *topology.Topology { return m.topo }
+
+// RegisterMetrics publishes the machine's byte counters on reg: cumulative
+// interconnect traffic per link (machine.link.<i>.bytes), memory-controller
+// traffic per node (machine.mc.<n>.bytes), link-local traffic that never
+// crossed the interconnect (machine.local.<n>.bytes), and their totals.
+// These are the counters behind the paper's Figure 12 bandwidth bars; an
+// interval delta divided by the epoch duration gives GB/s.
+func (m *Machine) RegisterMetrics(reg *metrics.Registry) {
+	for i := range m.linkBytes {
+		i := i
+		reg.CounterFunc(fmt.Sprintf("machine.link.%d.bytes", i), m.linkBytes[i].Load)
+	}
+	for n := range m.mcBytes {
+		n := n
+		reg.CounterFunc(fmt.Sprintf("machine.mc.%d.bytes", n), m.mcBytes[n].Load)
+		reg.CounterFunc(fmt.Sprintf("machine.local.%d.bytes", n), m.routeHit[n].Load)
+	}
+	reg.CounterFunc("machine.link_bytes_total", func() int64 {
+		var sum int64
+		for i := range m.linkBytes {
+			sum += m.linkBytes[i].Load()
+		}
+		return sum
+	})
+	reg.CounterFunc("machine.mc_bytes_total", func() int64 {
+		var sum int64
+		for i := range m.mcBytes {
+			sum += m.mcBytes[i].Load()
+		}
+		return sum
+	})
+	reg.GaugeFunc("machine.max_clock_ps", m.MaxClock)
+}
 
 // Cache returns the LLC simulator, or nil when disabled.
 func (m *Machine) Cache() *cache.System { return m.cache }

@@ -1,12 +1,14 @@
 package routing
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"eris/internal/mem"
+	"eris/internal/metrics"
 )
 
 // Descriptor layout (one uint64, updated with CAS as in the paper):
@@ -48,18 +50,29 @@ type Inbox struct {
 	overflowMu sync.Mutex
 	overflow   []byte
 
-	// Stats (owner-read).
-	appends   atomic.Int64
-	bytes     atomic.Int64
-	swaps     atomic.Int64
-	overflows atomic.Int64
-	casRetry  atomic.Int64
+	// Counters, registered on the engine's metrics registry under
+	// routing.inbox.<aeu>.*.
+	appends   *metrics.Counter
+	bytes     *metrics.Counter
+	swaps     *metrics.Counter
+	overflows *metrics.Counter
+	oversized *metrics.Counter
+	casRetry  *metrics.Counter
 }
 
 // newInbox builds an inbox with two size-byte buffers whose backing blocks
-// are allocated on the owner's node manager.
-func newInbox(mgr *mem.Manager, size int) *Inbox {
-	in := &Inbox{}
+// are allocated on the owner's node manager; its counters register on reg
+// under the owning AEU's id.
+func newInbox(mgr *mem.Manager, size int, reg *metrics.Registry, id uint32) *Inbox {
+	prefix := fmt.Sprintf("routing.inbox.%d.", id)
+	in := &Inbox{
+		appends:   reg.Counter(prefix + "appends"),
+		bytes:     reg.Counter(prefix + "bytes"),
+		swaps:     reg.Counter(prefix + "swaps"),
+		overflows: reg.Counter(prefix + "overflows"),
+		oversized: reg.Counter(prefix + "oversized"),
+		casRetry:  reg.Counter(prefix + "cas_retries"),
+	}
 	for i := range in.bufs {
 		in.bufs[i] = make([]byte, size)
 		in.blocks[i] = mgr.Alloc(int64(size))
@@ -81,6 +94,14 @@ func (in *Inbox) Append(data []byte) (int, int) {
 	size := uint64(len(data))
 	if size == 0 {
 		return int(in.writable.Load()), 0
+	}
+	if len(data) > len(in.bufs[0]) {
+		// The payload can never fit in a buffer, no matter how often the
+		// owner swaps: spinning through the full backoff budget would only
+		// burn time. Divert straight to the overflow queue.
+		in.oversized.Inc()
+		in.appendOverflow(data)
+		return -1, 0
 	}
 	waits := 0
 	for spins := 0; ; spins++ {
@@ -109,14 +130,14 @@ func (in *Inbox) Append(data []byte) (int, int) {
 		// Reserve space and register as a writer in one CAS.
 		nd := d + size<<31 + 1
 		if !in.desc[w].CompareAndSwap(d, nd) {
-			in.casRetry.Add(1)
+			in.casRetry.Inc()
 			continue
 		}
 		copy(in.bufs[w][off:], data)
 		// Deregister: writers live in the low bits, so a plain decrement
 		// cannot touch offset or active.
 		in.desc[w].Add(^uint64(0))
-		in.appends.Add(1)
+		in.appends.Inc()
 		in.bytes.Add(int64(size))
 		return int(w), waits
 	}
@@ -126,7 +147,7 @@ func (in *Inbox) appendOverflow(data []byte) {
 	in.overflowMu.Lock()
 	in.overflow = append(in.overflow, data...)
 	in.overflowMu.Unlock()
-	in.overflows.Add(1)
+	in.overflows.Inc()
 	in.bytes.Add(int64(len(data)))
 }
 
@@ -166,7 +187,7 @@ func (in *Inbox) Swap() []byte {
 		}
 		runtime.Gosched()
 	}
-	in.swaps.Add(1)
+	in.swaps.Inc()
 	payload := in.bufs[old][:descOffset(d)]
 
 	in.overflowMu.Lock()
@@ -188,16 +209,19 @@ type InboxStats struct {
 	Bytes      int64
 	Swaps      int64
 	Overflows  int64
+	Oversized  int64 // appends larger than a whole buffer, diverted directly
 	CASRetries int64
 }
 
-// Stats returns a snapshot of the inbox counters.
+// Stats returns a snapshot of the inbox counters. The same values are
+// available through the engine's metrics registry as routing.inbox.<aeu>.*.
 func (in *Inbox) Stats() InboxStats {
 	return InboxStats{
 		Appends:    in.appends.Load(),
 		Bytes:      in.bytes.Load(),
 		Swaps:      in.swaps.Load(),
 		Overflows:  in.overflows.Load(),
+		Oversized:  in.oversized.Load(),
 		CASRetries: in.casRetry.Load(),
 	}
 }

@@ -2,12 +2,14 @@ package routing
 
 import (
 	"encoding/binary"
+	"fmt"
 	"runtime"
 	"sync/atomic"
 
 	"eris/internal/colstore"
 	"eris/internal/command"
 	"eris/internal/mem"
+	"eris/internal/metrics"
 	"eris/internal/prefixtree"
 	"eris/internal/topology"
 )
@@ -42,8 +44,9 @@ type Outbox struct {
 
 	uni     [][]byte // per target; lazily allocated
 	refs    [][]byte // per target multicast reference buffers
-	touched []uint32 // targets with pending data, in first-touch order
-	dirty   []bool
+	touched []uint32 // targets queued for the next Flush, in first-touch order
+	queued  []bool   // target is in touched (cleared only by Flush)
+	dirty   []bool   // target has unflushed data
 
 	mcast     []mcastEntry
 	mcastNext int
@@ -53,37 +56,49 @@ type Outbox struct {
 	groupKeys [][]uint64
 	groupKVs  [][]prefixtree.KV
 
-	// Stats.
-	routedCmds  int64
-	routedKeys  int64
-	flushes     int64
-	flushedByte int64
-	mcasts      int64
+	// Counters, registered on the engine's metrics registry under
+	// routing.outbox.<aeu>.*. Only the owning AEU writes them.
+	routedCmds  *metrics.Counter
+	routedKeys  *metrics.Counter
+	flushes     *metrics.Counter
+	flushedByte *metrics.Counter
+	mcasts      *metrics.Counter
 }
 
 func newOutbox(r *Router, self uint32, node topology.NodeID) *Outbox {
 	n := r.numAEUs
+	prefix := fmt.Sprintf("routing.outbox.%d.", self)
 	return &Outbox{
-		r:         r,
-		self:      self,
-		node:      node,
-		uni:       make([][]byte, n),
-		refs:      make([][]byte, n),
-		dirty:     make([]bool, n),
-		mcast:     make([]mcastEntry, r.cfg.MulticastSlots),
-		mcastAddr: r.mems.Node(node).Alloc(int64(r.cfg.MulticastSlots) * 64),
-		groupKeys: make([][]uint64, n),
-		groupKVs:  make([][]prefixtree.KV, n),
+		r:           r,
+		self:        self,
+		node:        node,
+		uni:         make([][]byte, n),
+		refs:        make([][]byte, n),
+		queued:      make([]bool, n),
+		dirty:       make([]bool, n),
+		mcast:       make([]mcastEntry, r.cfg.MulticastSlots),
+		mcastAddr:   r.mems.Node(node).Alloc(int64(r.cfg.MulticastSlots) * 64),
+		groupKeys:   make([][]uint64, n),
+		groupKVs:    make([][]prefixtree.KV, n),
+		routedCmds:  r.metrics.Counter(prefix + "routed_cmds"),
+		routedKeys:  r.metrics.Counter(prefix + "routed_keys"),
+		flushes:     r.metrics.Counter(prefix + "flushes"),
+		flushedByte: r.metrics.Counter(prefix + "flushed_bytes"),
+		mcasts:      r.metrics.Counter(prefix + "multicasts"),
 	}
 }
 
 // core returns the core this outbox's AEU is pinned to.
 func (o *Outbox) core() topology.CoreID { return topology.CoreID(o.self) }
 
-// markTouched records that target has pending data.
+// markTouched records that target has pending data. The touched list is
+// gated on queued, not dirty: FlushTarget clears dirty but leaves the
+// target queued, so re-touching a target flushed mid-iteration cannot
+// append a duplicate (only Flush dequeues).
 func (o *Outbox) markTouched(to uint32) {
-	if !o.dirty[to] {
-		o.dirty[to] = true
+	o.dirty[to] = true
+	if !o.queued[to] {
+		o.queued[to] = true
 		o.touched = append(o.touched, to)
 	}
 }
@@ -101,7 +116,7 @@ func (o *Outbox) appendCmd(to uint32, cmd *command.Command) {
 	o.uni[to] = append(o.uni[to], kindCmd)
 	o.uni[to] = cmd.AppendEncode(o.uni[to])
 	o.markTouched(to)
-	o.routedCmds++
+	o.routedCmds.Inc()
 	// Local buffer write: charged as a local stream so that routing's local
 	// traffic shows up in the memory-controller counters.
 	o.r.machine.Stream(o.core(), o.node, int64(need))
@@ -119,7 +134,7 @@ func (o *Outbox) RouteLookup(obj ObjectID, keys []uint64, replyTo int32, tag uin
 	table := o.r.object(obj).ranged
 	m := o.r.machine
 	m.AdvanceNS(o.core(), o.r.cfg.RouteNSPerKey*float64(len(keys)))
-	o.routedKeys += int64(len(keys))
+	o.routedKeys.Add(int64(len(keys)))
 
 	var targets []uint32
 	for _, k := range keys {
@@ -145,7 +160,7 @@ func (o *Outbox) RouteUpsert(obj ObjectID, kvs []prefixtree.KV, replyTo int32, t
 	table := o.r.object(obj).ranged
 	m := o.r.machine
 	m.AdvanceNS(o.core(), o.r.cfg.RouteNSPerKey*float64(len(kvs)))
-	o.routedKeys += int64(len(kvs))
+	o.routedKeys.Add(int64(len(kvs)))
 
 	var targets []uint32
 	for _, kv := range kvs {
@@ -207,8 +222,8 @@ func (o *Outbox) multicast(cmd *command.Command, targets []uint32) {
 	e := &o.mcast[slot]
 	e.data = cmd.AppendEncode(e.data[:0])
 	e.refs.Store(int32(len(targets)))
-	o.mcasts++
-	o.routedCmds++
+	o.mcasts.Inc()
+	o.routedCmds.Inc()
 	m.Stream(o.core(), o.node, int64(len(e.data)))
 
 	var rec [refRecordBytes]byte
@@ -269,13 +284,13 @@ func (o *Outbox) FlushTarget(to uint32) {
 		m.AdvanceNS(o.core(), fullBufferPollNS*float64(waits))
 		o.refs[to] = refs[:0]
 	}
-	o.flushes++
-	o.flushedByte += int64(total)
+	o.flushes.Inc()
+	o.flushedByte.Add(int64(total))
 	o.dirty[to] = false
 }
 
 // Flush sends every pending buffer (the AEU calls this when its loop starts
-// over).
+// over) and dequeues every touched target.
 func (o *Outbox) Flush() {
 	if len(o.touched) == 0 {
 		return
@@ -284,6 +299,7 @@ func (o *Outbox) Flush() {
 		if o.dirty[to] {
 			o.FlushTarget(to)
 		}
+		o.queued[to] = false
 	}
 	o.touched = o.touched[:0]
 }
@@ -297,15 +313,15 @@ type OutboxStats struct {
 	FlushedBytes   int64
 }
 
-// Stats returns a snapshot of the outbox counters. Only the owning AEU
-// writes them; reading from other goroutines is for monitoring only.
+// Stats returns a snapshot of the outbox counters. The same values are
+// available through the engine's metrics registry as routing.outbox.<aeu>.*.
 func (o *Outbox) Stats() OutboxStats {
 	return OutboxStats{
-		RoutedCommands: o.routedCmds,
-		RoutedKeys:     o.routedKeys,
-		Multicasts:     o.mcasts,
-		Flushes:        o.flushes,
-		FlushedBytes:   o.flushedByte,
+		RoutedCommands: o.routedCmds.Load(),
+		RoutedKeys:     o.routedKeys.Load(),
+		Multicasts:     o.mcasts.Load(),
+		Flushes:        o.flushes.Load(),
+		FlushedBytes:   o.flushedByte.Load(),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"eris/internal/csbtree"
 	"eris/internal/mem"
+	"eris/internal/metrics"
 	"eris/internal/numasim"
 	"eris/internal/topology"
 )
@@ -33,6 +34,10 @@ type Config struct {
 	// (independent atomics to distinct nodes). Default 8; the Figure 5
 	// experiment sets 1 to isolate the pre-batching effect.
 	FlushOverlap int
+	// Metrics is the registry the routing counters are registered on. The
+	// engine passes its own; nil creates a private registry (standalone
+	// routers in tests and examples).
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +69,7 @@ type Router struct {
 	mems    *mem.System
 	cfg     Config
 	numAEUs int
+	metrics *metrics.Registry
 
 	inboxes  []*Inbox
 	outboxes []*Outbox
@@ -79,11 +85,16 @@ func New(machine *numasim.Machine, mems *mem.System, numAEUs int, cfg Config) (*
 			numAEUs, machine.Topology().NumCores())
 	}
 	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	r := &Router{
 		machine: machine,
 		mems:    mems,
 		cfg:     cfg,
 		numAEUs: numAEUs,
+		metrics: reg,
 		objects: make(map[ObjectID]*object),
 	}
 	topo := machine.Topology()
@@ -91,11 +102,14 @@ func New(machine *numasim.Machine, mems *mem.System, numAEUs int, cfg Config) (*
 	r.outboxes = make([]*Outbox, numAEUs)
 	for i := 0; i < numAEUs; i++ {
 		node := topo.NodeOfCore(topology.CoreID(i))
-		r.inboxes[i] = newInbox(mems.Node(node), cfg.InBufBytes)
+		r.inboxes[i] = newInbox(mems.Node(node), cfg.InBufBytes, reg, uint32(i))
 		r.outboxes[i] = newOutbox(r, uint32(i), node)
 	}
 	return r, nil
 }
+
+// Metrics returns the registry the routing layer's counters live on.
+func (r *Router) Metrics() *metrics.Registry { return r.metrics }
 
 // NumAEUs returns the number of workers the router serves.
 func (r *Router) NumAEUs() int { return r.numAEUs }

@@ -10,6 +10,7 @@ import (
 	"eris/internal/command"
 	"eris/internal/csbtree"
 	"eris/internal/mem"
+	"eris/internal/metrics"
 	"eris/internal/numasim"
 	"eris/internal/prefixtree"
 	"eris/internal/topology"
@@ -223,7 +224,7 @@ func TestUpdateRangeRedirects(t *testing.T) {
 func TestInboxDescriptorProtocol(t *testing.T) {
 	machine, _ := numasim.New(topology.SingleNode(4), numasim.Config{})
 	sys := mem.NewSystem(machine)
-	in := newInbox(sys.Node(0), 1024)
+	in := newInbox(sys.Node(0), 1024, metrics.NewRegistry(), 0)
 	in.Append([]byte("hello"))
 	in.Append([]byte("world"))
 	got := in.Swap()
@@ -248,7 +249,7 @@ func TestInboxDescriptorProtocol(t *testing.T) {
 func TestInboxConcurrentWriters(t *testing.T) {
 	machine, _ := numasim.New(topology.SingleNode(4), numasim.Config{})
 	sys := mem.NewSystem(machine)
-	in := newInbox(sys.Node(0), 1<<16)
+	in := newInbox(sys.Node(0), 1<<16, metrics.NewRegistry(), 0)
 	const writers, per = 8, 500
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
@@ -300,7 +301,7 @@ func TestInboxConcurrentWriters(t *testing.T) {
 func TestInboxOverflowValve(t *testing.T) {
 	machine, _ := numasim.New(topology.SingleNode(4), numasim.Config{})
 	sys := mem.NewSystem(machine)
-	in := newInbox(sys.Node(0), 16)
+	in := newInbox(sys.Node(0), 16, metrics.NewRegistry(), 0)
 	in.Append([]byte("0123456789abcdef")) // fills the buffer exactly
 	// Next append cannot fit; with no owner swapping it must eventually
 	// divert to the overflow queue rather than deadlock.
