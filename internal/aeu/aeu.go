@@ -173,9 +173,25 @@ type AEU struct {
 	peers    []*AEU
 
 	// Per-loop grouping scratch.
-	groups  map[groupKey]*group
-	order   []groupKey
-	noCoSeq uint64 // distinct group keys when coalescing is disabled
+	groups    map[groupKey]*group
+	order     []groupKey
+	groupFree []*group // recycled groups; batches keep their capacity
+	noCoSeq   uint64   // distinct group keys when coalescing is disabled
+
+	// Per-group processing scratch, reused across groups and iterations;
+	// the AEU loop is single-goroutine, so no synchronization is needed.
+	// Anything handed out of the loop (deferred commands, replies retained
+	// by a callback) must be cloned, never a scratch alias.
+	scratch struct {
+		valid       []uint64
+		foreign     []uint64
+		deferredIdx []int
+		values      []uint64
+		found       []bool
+		validKVs    []prefixtree.KV
+		foreignKVs  []prefixtree.KV
+		replyKVs    []prefixtree.KV
+	}
 
 	// Counters, registered on the engine's metrics registry under
 	// aeu.<id>.*; groupNS is the per-AEU command-group processing-time
@@ -199,6 +215,10 @@ type group struct {
 	keys  []uint64
 	kvs   []prefixtree.KV
 	scans []command.Command
+	// scanKeys is the arena holding cloned scan bounds: drained commands
+	// are decoded zero-copy, so the retained scans' Keys must not alias
+	// the inbox buffer.
+	scanKeys []uint64
 }
 
 // New creates an AEU pinned to core id of the machine.
@@ -244,7 +264,9 @@ func (a *AEU) SetEpochDone(fn func(aeu uint32, obj routing.ObjectID, epoch uint6
 	a.epochDone = fn
 }
 
-// SetClientResult installs the engine's client result callback.
+// SetClientResult installs the engine's client result callback. The kvs
+// slice may alias decoder or reply scratch that is reused immediately
+// after the callback returns; implementations must copy what they keep.
 func (a *AEU) SetClientResult(fn func(tag uint64, from uint32, kvs []prefixtree.KV)) {
 	a.onClientResult = fn
 }

@@ -91,7 +91,10 @@ func (a *AEU) updateSkew() {
 }
 
 // classify sorts one drained command into the per-(object, type) groups or
-// the control queues; this is the paper's command-grouping stage.
+// the control queues; this is the paper's command-grouping stage. Drained
+// commands are decoded zero-copy, so c.Keys and c.KVs are valid only for
+// the duration of this call: batch contents are copied into the group
+// immediately, and retained scan bounds are cloned into the group's arena.
 func (a *AEU) classify(c command.Command) {
 	switch c.Op {
 	case command.OpLookup, command.OpUpsert:
@@ -105,21 +108,16 @@ func (a *AEU) classify(c command.Command) {
 			a.noCoSeq++
 			k.tag = a.noCoSeq
 		}
-		g := a.groups[k]
-		if g == nil {
-			g = &group{}
-			a.groups[k] = g
-			a.order = append(a.order, k)
-		}
+		g := a.group(k)
 		g.keys = append(g.keys, c.Keys...)
 		g.kvs = append(g.kvs, c.KVs...)
 	case command.OpScan:
 		k := groupKey{obj: routing.ObjectID(c.Object), op: c.Op}
-		g := a.groups[k]
-		if g == nil {
-			g = &group{}
-			a.groups[k] = g
-			a.order = append(a.order, k)
+		g := a.group(k)
+		if len(c.Keys) > 0 {
+			start := len(g.scanKeys)
+			g.scanKeys = append(g.scanKeys, c.Keys...)
+			c.Keys = g.scanKeys[start:len(g.scanKeys):len(g.scanKeys)]
 		}
 		g.scans = append(g.scans, c)
 	case command.OpResult:
@@ -133,6 +131,33 @@ func (a *AEU) classify(c command.Command) {
 	}
 }
 
+// group returns the group for k, recycling a released one when available.
+func (a *AEU) group(k groupKey) *group {
+	g := a.groups[k]
+	if g == nil {
+		if n := len(a.groupFree); n > 0 {
+			g = a.groupFree[n-1]
+			a.groupFree = a.groupFree[:n-1]
+		} else {
+			g = &group{}
+		}
+		a.groups[k] = g
+		a.order = append(a.order, k)
+	}
+	return g
+}
+
+// releaseGroup returns a processed group to the freelist, keeping the
+// batch capacity for the next loop iteration.
+func (a *AEU) releaseGroup(k groupKey, g *group) {
+	delete(a.groups, k)
+	g.keys = g.keys[:0]
+	g.kvs = g.kvs[:0]
+	g.scans = g.scans[:0]
+	g.scanKeys = g.scanKeys[:0]
+	a.groupFree = append(a.groupFree, g)
+}
+
 // processGroups executes all grouped commands; this is the most time
 // consuming part of the loop.
 func (a *AEU) processGroups() {
@@ -143,7 +168,7 @@ func (a *AEU) processGroups() {
 			// The AEU holds no partition of this object (e.g. freshly
 			// rebalanced away); forward everything.
 			a.forwardGroup(k, g)
-			delete(a.groups, k)
+			a.releaseGroup(k, g)
 			continue
 		}
 		start := a.machine.Clock(a.Core)
@@ -159,7 +184,7 @@ func (a *AEU) processGroups() {
 		p.cmdTimePS.Add(elapsed)
 		p.cmdCount.Add(1)
 		a.groupNS.Observe(elapsed / 1000)
-		delete(a.groups, k)
+		a.releaseGroup(k, g)
 	}
 	a.order = a.order[:0]
 }
@@ -189,9 +214,11 @@ func (a *AEU) inPendingRange(key uint64) bool {
 }
 
 func (a *AEU) processLookups(k groupKey, g *group, p *Partition) {
-	var valid, foreign []uint64
-	var deferredIdx []int
+	valid := a.scratch.valid[:0]
+	foreign := a.scratch.foreign[:0]
+	deferredIdx := a.scratch.deferredIdx[:0]
 	a.splitValid(p, g.keys, &valid, &deferredIdx, &foreign)
+	a.scratch.valid, a.scratch.foreign, a.scratch.deferredIdx = valid, foreign, deferredIdx
 
 	if len(foreign) > 0 {
 		// Invalid commands (stale routing): re-route to the new owner.
@@ -200,6 +227,8 @@ func (a *AEU) processLookups(k groupKey, g *group, p *Partition) {
 		a.forwards.Add(int64(len(foreign)))
 	}
 	if len(deferredIdx) > 0 {
+		// Deferred commands outlive the loop iteration: clone, never alias
+		// group batches or scratch.
 		keys := make([]uint64, len(deferredIdx))
 		for i, idx := range deferredIdx {
 			keys[i] = g.keys[idx]
@@ -214,8 +243,12 @@ func (a *AEU) processLookups(k groupKey, g *group, p *Partition) {
 		return
 	}
 
-	values := make([]uint64, len(valid))
-	found := make([]bool, len(valid))
+	if cap(a.scratch.values) < len(valid) {
+		a.scratch.values = make([]uint64, len(valid))
+		a.scratch.found = make([]bool, len(valid))
+	}
+	values := a.scratch.values[:len(valid)]
+	found := a.scratch.found[:len(valid)]
 	p.Tree.LookupBatch(a.Core, valid, values, found)
 	p.accesses.Add(int64(len(valid)))
 	a.countOps(int64(len(valid)))
@@ -223,18 +256,21 @@ func (a *AEU) processLookups(k groupKey, g *group, p *Partition) {
 	if k.replyTo == command.NoReply {
 		return
 	}
-	kvs := make([]prefixtree.KV, 0, len(valid))
+	kvs := a.scratch.replyKVs[:0]
 	for i := range valid {
 		if found[i] {
 			kvs = append(kvs, prefixtree.KV{Key: valid[i], Value: values[i]})
 		}
 	}
+	a.scratch.replyKVs = kvs
 	a.reply(k, kvs)
 }
 
 func (a *AEU) processUpserts(k groupKey, g *group, p *Partition) {
-	var validKVs []prefixtree.KV
-	var foreign []prefixtree.KV
+	validKVs := a.scratch.validKVs[:0]
+	foreign := a.scratch.foreignKVs[:0]
+	// pend feeds a deferred command that outlives the iteration, so it is
+	// freshly allocated (rare: only during an inbound transfer).
 	var pend []prefixtree.KV
 	for _, kv := range g.kvs {
 		switch {
@@ -246,6 +282,7 @@ func (a *AEU) processUpserts(k groupKey, g *group, p *Partition) {
 			validKVs = append(validKVs, kv)
 		}
 	}
+	a.scratch.validKVs, a.scratch.foreignKVs = validKVs, foreign
 	if len(foreign) > 0 {
 		a.machine.AdvanceNS(a.Core, forwardNSPerKey*float64(len(foreign)))
 		a.Outbox().RouteUpsert(k.obj, foreign, k.replyTo, k.tag)
@@ -300,8 +337,9 @@ func (a *AEU) processColumnScans(g *group, p *Partition) {
 		if c.ReplyTo == command.NoReply {
 			continue
 		}
-		a.reply(groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source},
-			[]prefixtree.KV{{Key: aggs[i].matched, Value: aggs[i].sum}})
+		kvs := append(a.scratch.replyKVs[:0], prefixtree.KV{Key: aggs[i].matched, Value: aggs[i].sum})
+		a.scratch.replyKVs = kvs
+		a.reply(groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source}, kvs)
 	}
 }
 
@@ -319,7 +357,7 @@ func (a *AEU) processIndexScans(g *group, p *Partition) {
 		if c.Limit > 0 {
 			// Rows mode: materialize up to Limit matching pairs and route
 			// them back as an intermediate result.
-			var rows []prefixtree.KV
+			rows := a.scratch.replyKVs[:0]
 			if lo <= hi {
 				p.Tree.Scan(a.Core, lo, hi, func(key, value uint64) bool {
 					if c.Pred.Matches(value) {
@@ -328,6 +366,7 @@ func (a *AEU) processIndexScans(g *group, p *Partition) {
 					return len(rows) < int(c.Limit)
 				})
 			}
+			a.scratch.replyKVs = rows
 			p.accesses.Add(1)
 			a.countOps(1)
 			if c.ReplyTo != command.NoReply {
@@ -348,8 +387,9 @@ func (a *AEU) processIndexScans(g *group, p *Partition) {
 		p.accesses.Add(1)
 		a.countOps(1)
 		if c.ReplyTo != command.NoReply {
-			a.reply(groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source},
-				[]prefixtree.KV{{Key: matched, Value: sum}})
+			kvs := append(a.scratch.replyKVs[:0], prefixtree.KV{Key: matched, Value: sum})
+			a.scratch.replyKVs = kvs
+			a.reply(groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source}, kvs)
 		}
 	}
 }

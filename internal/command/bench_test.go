@@ -1,0 +1,118 @@
+package command
+
+// Hot-path codec microbenchmarks (run with -benchmem). Encode reuses the
+// caller's buffer by contract; Decode is the per-command copying decoder,
+// Decoder.DecodeInto the amortized zero-allocation view decoder used by
+// the routing drain path.
+
+import (
+	"testing"
+
+	"eris/internal/prefixtree"
+)
+
+func benchLookup(n int) Command {
+	c := Command{Op: OpLookup, Object: 3, Source: 1, ReplyTo: NoReply, Tag: 7}
+	c.Keys = make([]uint64, n)
+	for i := range c.Keys {
+		c.Keys[i] = uint64(i) * 7919
+	}
+	return c
+}
+
+func benchUpsert(n int) Command {
+	c := Command{Op: OpUpsert, Object: 3, Source: 1, ReplyTo: NoReply, Tag: 7}
+	c.KVs = make([]prefixtree.KV, n)
+	for i := range c.KVs {
+		c.KVs[i] = prefixtree.KV{Key: uint64(i) * 7919, Value: uint64(i)}
+	}
+	return c
+}
+
+func BenchmarkEncodeLookup64(b *testing.B) {
+	c := benchLookup(64)
+	buf := c.AppendEncode(nil)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.AppendEncode(buf[:0])
+	}
+}
+
+func BenchmarkEncodeUpsert64(b *testing.B) {
+	c := benchUpsert(64)
+	buf := c.AppendEncode(nil)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.AppendEncode(buf[:0])
+	}
+}
+
+func BenchmarkDecodeLookup64(b *testing.B) {
+	c := benchLookup(64)
+	buf := c.AppendEncode(nil)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeUpsert64(b *testing.B) {
+	c := benchUpsert(64)
+	buf := c.AppendEncode(nil)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The DecodeInto twins measure the zero-copy drain-path decoder, once with
+// the payload 8-byte aligned (pure view, no copy) and once deliberately
+// misaligned (scratch-reuse fallback).
+
+func benchDecodeInto(b *testing.B, c Command, misalign int) {
+	raw := make([]byte, misalign, misalign+c.EncodedSize())
+	raw = c.AppendEncode(raw)
+	buf := raw[misalign:]
+	// headerBytes+4 bytes of header/count precede the payload; shift the
+	// whole frame so the payload lands where the benchmark wants it.
+	var d Decoder
+	var cmd Command
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.DecodeInto(&cmd, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeIntoLookup64Aligned(b *testing.B) {
+	// Payload starts headerBytes+4 = 29 bytes into the frame; offset the
+	// frame by 3 so the key payload is 8-byte aligned.
+	benchDecodeInto(b, benchLookup(64), 3)
+}
+
+func BenchmarkDecodeIntoLookup64Unaligned(b *testing.B) {
+	benchDecodeInto(b, benchLookup(64), 0)
+}
+
+func BenchmarkDecodeIntoUpsert64Aligned(b *testing.B) {
+	benchDecodeInto(b, benchUpsert(64), 3)
+}
+
+func BenchmarkDecodeIntoUpsert64Unaligned(b *testing.B) {
+	benchDecodeInto(b, benchUpsert(64), 0)
+}

@@ -125,6 +125,27 @@ func (c *Command) EncodedSize() int {
 	return headerBytes + c.payloadSize()
 }
 
+// MaxLookupKeys returns the largest lookup key batch whose framed encoding
+// (one routing frame byte plus the command) fits in limit bytes, at least
+// 1; the routing layer uses it to chunk batches to the outgoing buffer
+// capacity at route time.
+func MaxLookupKeys(limit int) int {
+	n := (limit - 1 - headerBytes - 4) / 8
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// MaxUpsertKVs is MaxLookupKeys for upsert (and result) KV batches.
+func MaxUpsertKVs(limit int) int {
+	n := (limit - 1 - headerBytes - 4) / 16
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
 func (c *Command) payloadSize() int {
 	switch c.Op {
 	case OpLookup:
@@ -208,102 +229,6 @@ var (
 	ErrTruncated = errors.New("command: truncated buffer")
 	ErrBadOp     = errors.New("command: invalid operation")
 )
-
-// Decode parses one command from the front of buf, returning it and the
-// number of bytes consumed.
-func Decode(buf []byte) (Command, int, error) {
-	if len(buf) < headerBytes {
-		return Command{}, 0, ErrTruncated
-	}
-	var c Command
-	c.Op = Op(buf[0])
-	if c.Op == OpInvalid || c.Op >= numOps {
-		return Command{}, 0, fmt.Errorf("%w: %d", ErrBadOp, buf[0])
-	}
-	c.Object = binary.LittleEndian.Uint32(buf[1:])
-	c.Source = binary.LittleEndian.Uint32(buf[5:])
-	c.ReplyTo = int32(binary.LittleEndian.Uint32(buf[9:]))
-	c.Tag = binary.LittleEndian.Uint64(buf[13:])
-	plen := int(binary.LittleEndian.Uint32(buf[21:]))
-	if len(buf) < headerBytes+plen {
-		return Command{}, 0, ErrTruncated
-	}
-	p := buf[headerBytes : headerBytes+plen]
-	switch c.Op {
-	case OpLookup:
-		n, rest, err := decodeCount(p, 8)
-		if err != nil {
-			return Command{}, 0, err
-		}
-		c.Keys = make([]uint64, n)
-		for i := range c.Keys {
-			c.Keys[i] = binary.LittleEndian.Uint64(rest[8*i:])
-		}
-	case OpUpsert, OpResult:
-		n, rest, err := decodeCount(p, 16)
-		if err != nil {
-			return Command{}, 0, err
-		}
-		c.KVs = make([]prefixtree.KV, n)
-		for i := range c.KVs {
-			c.KVs[i].Key = binary.LittleEndian.Uint64(rest[16*i:])
-			c.KVs[i].Value = binary.LittleEndian.Uint64(rest[16*i+8:])
-		}
-	case OpScan:
-		if len(p) < 1+8+8+4+4 {
-			return Command{}, 0, ErrTruncated
-		}
-		c.Pred.Op = colstore.PredicateOp(p[0])
-		c.Pred.Operand = binary.LittleEndian.Uint64(p[1:])
-		c.Pred.High = binary.LittleEndian.Uint64(p[9:])
-		c.Limit = binary.LittleEndian.Uint32(p[17:])
-		n := int(binary.LittleEndian.Uint32(p[21:]))
-		rest := p[25:]
-		if len(rest) < 8*n {
-			return Command{}, 0, ErrTruncated
-		}
-		c.Keys = make([]uint64, n)
-		for i := range c.Keys {
-			c.Keys[i] = binary.LittleEndian.Uint64(rest[8*i:])
-		}
-	case OpBalance:
-		if len(p) < 8+8+8+4 {
-			return Command{}, 0, ErrTruncated
-		}
-		b := &Balance{
-			Epoch: binary.LittleEndian.Uint64(p[0:]),
-			NewLo: binary.LittleEndian.Uint64(p[8:]),
-			NewHi: binary.LittleEndian.Uint64(p[16:]),
-		}
-		n := int(binary.LittleEndian.Uint32(p[24:]))
-		rest := p[28:]
-		if len(rest) < n*(4+8+8+8) {
-			return Command{}, 0, ErrTruncated
-		}
-		b.Fetches = make([]Fetch, n)
-		for i := range b.Fetches {
-			o := i * 28
-			b.Fetches[i] = Fetch{
-				From:   binary.LittleEndian.Uint32(rest[o:]),
-				Lo:     binary.LittleEndian.Uint64(rest[o+4:]),
-				Hi:     binary.LittleEndian.Uint64(rest[o+12:]),
-				Tuples: int64(binary.LittleEndian.Uint64(rest[o+20:])),
-			}
-		}
-		c.Balance = b
-	case OpFetch:
-		if len(p) < 28 {
-			return Command{}, 0, ErrTruncated
-		}
-		c.Fetch = &Fetch{
-			From:   binary.LittleEndian.Uint32(p[0:]),
-			Lo:     binary.LittleEndian.Uint64(p[4:]),
-			Hi:     binary.LittleEndian.Uint64(p[12:]),
-			Tuples: int64(binary.LittleEndian.Uint64(p[20:])),
-		}
-	}
-	return c, headerBytes + plen, nil
-}
 
 func decodeCount(p []byte, elem int) (int, []byte, error) {
 	if len(p) < 4 {

@@ -180,6 +180,103 @@ func TestEncodedSizeProperty(t *testing.T) {
 	}
 }
 
+func TestEmptyPayloadsDecodeNil(t *testing.T) {
+	// Wire-empty batches must decode to nil (not empty non-nil) slices so
+	// the hot path allocates nothing for them, and re-encoding the decoded
+	// command must reproduce the original bytes.
+	cases := []Command{
+		{Op: OpLookup, Object: 1, ReplyTo: NoReply, Keys: []uint64{}},
+		{Op: OpUpsert, Object: 2, ReplyTo: NoReply, KVs: []prefixtree.KV{}},
+		{Op: OpResult, Object: 3, ReplyTo: NoReply},
+		{Op: OpScan, Object: 4, ReplyTo: 1, Pred: colstore.Predicate{Op: colstore.All}},
+	}
+	for _, c := range cases {
+		buf := c.AppendEncode(nil)
+		got, n, err := Decode(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("%v: decode: %v (%d of %d bytes)", c.Op, err, n, len(buf))
+		}
+		if got.Keys != nil || got.KVs != nil {
+			t.Errorf("%v: empty payload decoded non-nil: Keys=%v KVs=%v", c.Op, got.Keys, got.KVs)
+		}
+		if back := got.AppendEncode(nil); !reflect.DeepEqual(back, buf) {
+			t.Errorf("%v: re-encode mismatch: %v vs %v", c.Op, back, buf)
+		}
+		var d Decoder
+		var view Command
+		if _, err := d.DecodeInto(&view, buf); err != nil {
+			t.Fatalf("%v: DecodeInto: %v", c.Op, err)
+		}
+		if view.Keys != nil || view.KVs != nil {
+			t.Errorf("%v: empty payload view non-nil", c.Op)
+		}
+	}
+}
+
+// TestDecodeIntoMatchesDecode drives both decoders over the same frames at
+// every possible payload alignment; the view decoder must produce the same
+// commands whether it aliases the buffer or falls back to scratch.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	cmds := []Command{
+		{Op: OpLookup, Object: 3, Source: 17, ReplyTo: 4, Tag: 99, Keys: []uint64{1, 2, 1 << 60}},
+		{Op: OpUpsert, Object: 9, ReplyTo: NoReply, Tag: 5, KVs: []prefixtree.KV{{Key: 1, Value: 2}, {Key: ^uint64(0)}}},
+		{Op: OpResult, Object: 9, Source: 3, ReplyTo: NoReply, Tag: 5, KVs: []prefixtree.KV{{Key: 7, Value: 8}}},
+		{Op: OpScan, Object: 2, ReplyTo: 8, Pred: colstore.Predicate{Op: colstore.Between, Operand: 10, High: 20}, Keys: []uint64{100, 200}},
+		{Op: OpBalance, Object: 1, Balance: &Balance{Epoch: 42, NewLo: 7, NewHi: 9, Fetches: []Fetch{{From: 3, Lo: 1, Hi: 2}}}},
+		{Op: OpFetch, Object: 7, Fetch: &Fetch{From: 2, Lo: 10, Hi: 20, Tuples: -1}},
+	}
+	var d Decoder
+	for _, c := range cmds {
+		for pad := 0; pad < 8; pad++ {
+			raw := c.AppendEncode(make([]byte, pad, pad+c.EncodedSize()))
+			buf := raw[pad:]
+			want, n, err := Decode(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got Command
+			m, err := d.DecodeInto(&got, buf)
+			if err != nil || m != n {
+				t.Fatalf("%v pad %d: DecodeInto consumed %d err %v", c.Op, pad, m, err)
+			}
+			if !reflect.DeepEqual(normalize(got), normalize(want)) {
+				t.Fatalf("%v pad %d: got %+v, want %+v", c.Op, pad, got, want)
+			}
+		}
+	}
+}
+
+// normalize copies view-backed slices so DeepEqual compares content.
+func normalize(c Command) Command { return c.Clone() }
+
+func TestCloneDetachesViews(t *testing.T) {
+	c := Command{Op: OpLookup, Object: 1, ReplyTo: NoReply, Keys: []uint64{1, 2, 3}}
+	buf := c.AppendEncode(nil)
+	var d Decoder
+	var view Command
+	if _, err := d.DecodeInto(&view, buf); err != nil {
+		t.Fatal(err)
+	}
+	clone := view.Clone()
+	// Overwrite the encoded payload; the view may change, the clone must not.
+	for i := headerBytes + 4; i < len(buf); i++ {
+		buf[i] = 0xff
+	}
+	var second Command
+	if _, err := d.DecodeInto(&second, buf); err != nil { // also recycles scratch
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clone.Keys, []uint64{1, 2, 3}) {
+		t.Fatalf("clone mutated: %v", clone.Keys)
+	}
+	b := Command{Op: OpBalance, Balance: &Balance{Epoch: 1, Fetches: []Fetch{{From: 9}}}}
+	bc := b.Clone()
+	b.Balance.Fetches[0].From = 1
+	if bc.Balance.Fetches[0].From != 9 {
+		t.Fatal("balance clone shares fetches")
+	}
+}
+
 func TestOpString(t *testing.T) {
 	for op := OpLookup; op < numOps; op++ {
 		if s := op.String(); s == "" || s[0] == 'O' {

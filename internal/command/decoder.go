@@ -1,0 +1,226 @@
+package command
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+
+	"eris/internal/colstore"
+	"eris/internal/prefixtree"
+)
+
+// The zero-copy paths below reinterpret encoded payload bytes as []uint64
+// and []prefixtree.KV; they are only correct if KV is exactly two packed
+// little-endian-compatible uint64 words. These declarations fail to
+// compile if the layout ever changes.
+var (
+	_ [16]byte = [unsafe.Sizeof(prefixtree.KV{})]byte{}
+	_ [0]byte  = [unsafe.Offsetof(prefixtree.KV{}.Key)]byte{}
+	_ [8]byte  = [unsafe.Offsetof(prefixtree.KV{}.Value)]byte{}
+)
+
+// hostLittleEndian reports whether in-memory uint64 words match the wire
+// byte order; only then may decoded slices alias the encoded buffer.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Decoder decodes data commands with amortized zero allocations. The
+// decoded command's Keys and KVs are views: on little-endian hosts with
+// naturally aligned payloads they alias the encoded buffer directly, and
+// otherwise they alias the decoder's reusable scratch. Either way a view
+// is valid only until the next DecodeInto call on the same decoder or
+// until the memory behind buf is recycled (for inbox payloads: the owning
+// AEU's next Swap), whichever comes first. Callers that retain a command
+// beyond that window must Clone it. Balance and Fetch payloads travel the
+// control plane and are freshly allocated on every decode, so they are
+// always safe to retain.
+//
+// A Decoder must not be shared between goroutines.
+type Decoder struct {
+	keys []uint64
+	kvs  []prefixtree.KV
+}
+
+// DecodeInto parses one command from the front of buf into c, returning
+// the number of bytes consumed. See the Decoder documentation for the
+// lifetime of the decoded Keys/KVs views.
+func (d *Decoder) DecodeInto(c *Command, buf []byte) (int, error) {
+	return decodeInto(c, buf, d)
+}
+
+// Decode parses one command from the front of buf, returning it and the
+// number of bytes consumed. All payload slices are freshly allocated, so
+// the command may be retained indefinitely; the routing drain path uses a
+// Decoder instead to keep the steady-state loop allocation-free.
+func Decode(buf []byte) (Command, int, error) {
+	var c Command
+	n, err := decodeInto(&c, buf, nil)
+	return c, n, err
+}
+
+// decodeInto is the shared decode body; a nil decoder selects the
+// always-copy mode of Decode.
+func decodeInto(c *Command, buf []byte, d *Decoder) (int, error) {
+	if len(buf) < headerBytes {
+		return 0, ErrTruncated
+	}
+	op := Op(buf[0])
+	if op == OpInvalid || op >= numOps {
+		return 0, fmt.Errorf("%w: %d", ErrBadOp, buf[0])
+	}
+	*c = Command{
+		Op:      op,
+		Object:  binary.LittleEndian.Uint32(buf[1:]),
+		Source:  binary.LittleEndian.Uint32(buf[5:]),
+		ReplyTo: int32(binary.LittleEndian.Uint32(buf[9:])),
+		Tag:     binary.LittleEndian.Uint64(buf[13:]),
+	}
+	plen := int(binary.LittleEndian.Uint32(buf[21:]))
+	if len(buf) < headerBytes+plen {
+		return 0, ErrTruncated
+	}
+	p := buf[headerBytes : headerBytes+plen]
+	switch op {
+	case OpLookup:
+		n, rest, err := decodeCount(p, 8)
+		if err != nil {
+			return 0, err
+		}
+		c.Keys = viewKeys(d, rest, n)
+	case OpUpsert, OpResult:
+		n, rest, err := decodeCount(p, 16)
+		if err != nil {
+			return 0, err
+		}
+		c.KVs = viewKVs(d, rest, n)
+	case OpScan:
+		if len(p) < 1+8+8+4+4 {
+			return 0, ErrTruncated
+		}
+		c.Pred.Op = colstore.PredicateOp(p[0])
+		c.Pred.Operand = binary.LittleEndian.Uint64(p[1:])
+		c.Pred.High = binary.LittleEndian.Uint64(p[9:])
+		c.Limit = binary.LittleEndian.Uint32(p[17:])
+		n := int(binary.LittleEndian.Uint32(p[21:]))
+		rest := p[25:]
+		if len(rest) < 8*n {
+			return 0, ErrTruncated
+		}
+		c.Keys = viewKeys(d, rest, n)
+	case OpBalance:
+		if len(p) < 8+8+8+4 {
+			return 0, ErrTruncated
+		}
+		b := &Balance{
+			Epoch: binary.LittleEndian.Uint64(p[0:]),
+			NewLo: binary.LittleEndian.Uint64(p[8:]),
+			NewHi: binary.LittleEndian.Uint64(p[16:]),
+		}
+		n := int(binary.LittleEndian.Uint32(p[24:]))
+		rest := p[28:]
+		if len(rest) < n*(4+8+8+8) {
+			return 0, ErrTruncated
+		}
+		if n > 0 {
+			b.Fetches = make([]Fetch, n)
+			for i := range b.Fetches {
+				o := i * 28
+				b.Fetches[i] = Fetch{
+					From:   binary.LittleEndian.Uint32(rest[o:]),
+					Lo:     binary.LittleEndian.Uint64(rest[o+4:]),
+					Hi:     binary.LittleEndian.Uint64(rest[o+12:]),
+					Tuples: int64(binary.LittleEndian.Uint64(rest[o+20:])),
+				}
+			}
+		}
+		c.Balance = b
+	case OpFetch:
+		if len(p) < 28 {
+			return 0, ErrTruncated
+		}
+		c.Fetch = &Fetch{
+			From:   binary.LittleEndian.Uint32(p[0:]),
+			Lo:     binary.LittleEndian.Uint64(p[4:]),
+			Hi:     binary.LittleEndian.Uint64(p[12:]),
+			Tuples: int64(binary.LittleEndian.Uint64(p[20:])),
+		}
+	}
+	return headerBytes + plen, nil
+}
+
+// viewKeys returns the n keys encoded in p. Empty payloads decode to nil.
+// With a decoder, the result aliases p when the host byte order and the
+// payload alignment allow it and the decoder's key scratch otherwise; with
+// a nil decoder it is freshly allocated.
+func viewKeys(d *Decoder, p []byte, n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	if d != nil && hostLittleEndian && uintptr(unsafe.Pointer(&p[0]))&7 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&p[0])), n)
+	}
+	var dst []uint64
+	if d != nil {
+		if cap(d.keys) < n {
+			d.keys = make([]uint64, n)
+		}
+		dst = d.keys[:n]
+	} else {
+		dst = make([]uint64, n)
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(p[8*i:])
+	}
+	return dst
+}
+
+// viewKVs is viewKeys for key/value payloads.
+func viewKVs(d *Decoder, p []byte, n int) []prefixtree.KV {
+	if n == 0 {
+		return nil
+	}
+	if d != nil && hostLittleEndian && uintptr(unsafe.Pointer(&p[0]))&7 == 0 {
+		return unsafe.Slice((*prefixtree.KV)(unsafe.Pointer(&p[0])), n)
+	}
+	var dst []prefixtree.KV
+	if d != nil {
+		if cap(d.kvs) < n {
+			d.kvs = make([]prefixtree.KV, n)
+		}
+		dst = d.kvs[:n]
+	} else {
+		dst = make([]prefixtree.KV, n)
+	}
+	for i := range dst {
+		dst[i].Key = binary.LittleEndian.Uint64(p[16*i:])
+		dst[i].Value = binary.LittleEndian.Uint64(p[16*i+8:])
+	}
+	return dst
+}
+
+// Clone deep-copies a command so it can be retained past the view window
+// of Decoder.DecodeInto; the deferred and requeue paths of the AEU loop
+// must call it before parking a command across loop iterations.
+func (c Command) Clone() Command {
+	out := c
+	if c.Keys != nil {
+		out.Keys = append([]uint64(nil), c.Keys...)
+	}
+	if c.KVs != nil {
+		out.KVs = append([]prefixtree.KV(nil), c.KVs...)
+	}
+	if c.Balance != nil {
+		b := *c.Balance
+		if b.Fetches != nil {
+			b.Fetches = append([]Fetch(nil), c.Balance.Fetches...)
+		}
+		out.Balance = &b
+	}
+	if c.Fetch != nil {
+		f := *c.Fetch
+		out.Fetch = &f
+	}
+	return out
+}

@@ -188,6 +188,30 @@ func (t *Tree) lookupIndex(key uint64) int {
 	return lo + i - 1
 }
 
+// LookupBatchSorted resolves the owner of every key of an ascending-sorted
+// batch: one tree descent for the first key, then a linear merge along the
+// ordered entry array. A B-key batch therefore costs one walk plus
+// O(B + entries crossed) instead of B independent descents — the batch
+// owner-resolution primitive of the routing layer's split path. owners
+// must have at least len(keys) elements; duplicate keys are fine, and a
+// key that breaks the ascending order falls back to a fresh descent, so
+// the result is correct (just slower) for unsorted input.
+func (t *Tree) LookupBatchSorted(keys []uint64, owners []uint32) {
+	if len(keys) == 0 {
+		return
+	}
+	idx := t.lookupIndex(keys[0])
+	for i, k := range keys {
+		if k < t.leaves[idx].Low {
+			idx = t.lookupIndex(k)
+		}
+		for idx+1 < len(t.leaves) && t.leaves[idx+1].Low <= k {
+			idx++
+		}
+		owners[i] = t.leaves[idx].Owner
+	}
+}
+
 // Range appends to dst every entry whose key range intersects [lo, hi]
 // (inclusive) and returns the result; used for routing multicast range
 // scans to all owning AEUs.
@@ -260,6 +284,24 @@ func (f *Flat) Len() int { return len(f.entries) }
 // Lookup returns the owner of key.
 func (f *Flat) Lookup(key uint64) uint32 {
 	return f.entries[flatLookup(f.entries, key)].Owner
+}
+
+// LookupBatchSorted resolves owners for an ascending-sorted key batch, as
+// Tree.LookupBatchSorted.
+func (f *Flat) LookupBatchSorted(keys []uint64, owners []uint32) {
+	if len(keys) == 0 {
+		return
+	}
+	idx := flatLookup(f.entries, keys[0])
+	for i, k := range keys {
+		if k < f.entries[idx].Low {
+			idx = flatLookup(f.entries, k)
+		}
+		for idx+1 < len(f.entries) && f.entries[idx+1].Low <= k {
+			idx++
+		}
+		owners[i] = f.entries[idx].Owner
+	}
 }
 
 // Range appends intersecting entries, as Tree.Range.

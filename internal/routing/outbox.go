@@ -1,13 +1,16 @@
 package routing
 
 import (
+	"cmp"
 	"encoding/binary"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync/atomic"
 
 	"eris/internal/colstore"
 	"eris/internal/command"
+	"eris/internal/csbtree"
 	"eris/internal/mem"
 	"eris/internal/metrics"
 	"eris/internal/prefixtree"
@@ -52,9 +55,24 @@ type Outbox struct {
 	mcastNext int
 	mcastAddr mem.Block
 
-	// groupKeys/groupKVs are per-target scratch for splitting batches.
-	groupKeys [][]uint64
-	groupKVs  [][]prefixtree.KV
+	// groupKeys/groupKVs are per-target scratch for splitting batches;
+	// targets/owners/sortKeys/sortKVs/entScratch/holderScratch are the
+	// remaining route-split scratch, all reused across calls (the outbox
+	// is single-goroutine by construction).
+	groupKeys     [][]uint64
+	groupKVs      [][]prefixtree.KV
+	targets       []uint32
+	owners        []uint32
+	sortKeys      []uint64
+	sortKVs       []prefixtree.KV
+	entScratch    []csbtree.Entry
+	holderScratch []uint32
+
+	// maxLookupKeys/maxUpsertKVs cap how many keys/KVs one routed command
+	// may carry so its framed encoding never exceeds OutBufBytes (chunked
+	// at route time instead of hitting the inbox oversized-divert path).
+	maxLookupKeys int
+	maxUpsertKVs  int
 
 	// Counters, registered on the engine's metrics registry under
 	// routing.outbox.<aeu>.*. Only the owning AEU writes them.
@@ -69,22 +87,24 @@ func newOutbox(r *Router, self uint32, node topology.NodeID) *Outbox {
 	n := r.numAEUs
 	prefix := fmt.Sprintf("routing.outbox.%d.", self)
 	return &Outbox{
-		r:           r,
-		self:        self,
-		node:        node,
-		uni:         make([][]byte, n),
-		refs:        make([][]byte, n),
-		queued:      make([]bool, n),
-		dirty:       make([]bool, n),
-		mcast:       make([]mcastEntry, r.cfg.MulticastSlots),
-		mcastAddr:   r.mems.Node(node).Alloc(int64(r.cfg.MulticastSlots) * 64),
-		groupKeys:   make([][]uint64, n),
-		groupKVs:    make([][]prefixtree.KV, n),
-		routedCmds:  r.metrics.Counter(prefix + "routed_cmds"),
-		routedKeys:  r.metrics.Counter(prefix + "routed_keys"),
-		flushes:     r.metrics.Counter(prefix + "flushes"),
-		flushedByte: r.metrics.Counter(prefix + "flushed_bytes"),
-		mcasts:      r.metrics.Counter(prefix + "multicasts"),
+		r:             r,
+		self:          self,
+		node:          node,
+		uni:           make([][]byte, n),
+		refs:          make([][]byte, n),
+		queued:        make([]bool, n),
+		dirty:         make([]bool, n),
+		mcast:         make([]mcastEntry, r.cfg.MulticastSlots),
+		mcastAddr:     r.mems.Node(node).Alloc(int64(r.cfg.MulticastSlots) * 64),
+		groupKeys:     make([][]uint64, n),
+		groupKVs:      make([][]prefixtree.KV, n),
+		maxLookupKeys: command.MaxLookupKeys(r.cfg.OutBufBytes),
+		maxUpsertKVs:  command.MaxUpsertKVs(r.cfg.OutBufBytes),
+		routedCmds:    r.metrics.Counter(prefix + "routed_cmds"),
+		routedKeys:    r.metrics.Counter(prefix + "routed_keys"),
+		flushes:       r.metrics.Counter(prefix + "flushes"),
+		flushedByte:   r.metrics.Counter(prefix + "flushed_bytes"),
+		mcasts:        r.metrics.Counter(prefix + "multicasts"),
 	}
 }
 
@@ -128,85 +148,167 @@ func (o *Outbox) Send(to uint32, cmd *command.Command) {
 	o.appendCmd(to, cmd)
 }
 
+// sortedRouteMinKeys is the batch size from which the route-split sorts
+// the batch and resolves owners with one partition-table walk plus a
+// linear merge; below it, per-key descents are cheaper than the sort.
+const sortedRouteMinKeys = 16
+
 // RouteLookup splits a key batch by owner and routes per-owner lookup
-// commands. It returns the number of commands emitted.
+// commands, chunked so no encoded command exceeds the outgoing buffer
+// capacity. It returns the number of commands emitted. Large batches are
+// sorted first and resolved against the partition table in one ordered
+// merge; the virtual cost charged is RouteNSPerKey per key either way, so
+// simulated results do not depend on the resolution strategy.
 func (o *Outbox) RouteLookup(obj ObjectID, keys []uint64, replyTo int32, tag uint64) int {
 	table := o.r.object(obj).ranged
 	m := o.r.machine
 	m.AdvanceNS(o.core(), o.r.cfg.RouteNSPerKey*float64(len(keys)))
 	o.routedKeys.Add(int64(len(keys)))
+	if len(keys) == 0 {
+		return 0
+	}
 
-	var targets []uint32
-	for _, k := range keys {
-		to := table.Owner(k)
+	routed := keys
+	if len(keys) >= sortedRouteMinKeys {
+		o.sortKeys = append(o.sortKeys[:0], keys...)
+		slices.Sort(o.sortKeys)
+		routed = o.sortKeys
+	}
+	owners := o.resolveOwners(table, routed)
+
+	o.targets = o.targets[:0]
+	for i, k := range routed {
+		to := owners[i]
 		if len(o.groupKeys[to]) == 0 {
-			targets = append(targets, to)
+			o.targets = append(o.targets, to)
 		}
 		o.groupKeys[to] = append(o.groupKeys[to], k)
 	}
-	for _, to := range targets {
-		cmd := command.Command{
-			Op: command.OpLookup, Object: uint32(obj), Source: o.self,
-			ReplyTo: replyTo, Tag: tag, Keys: o.groupKeys[to],
+	emitted := 0
+	for _, to := range o.targets {
+		batch := o.groupKeys[to]
+		for len(batch) > 0 {
+			n := min(len(batch), o.maxLookupKeys)
+			cmd := command.Command{
+				Op: command.OpLookup, Object: uint32(obj), Source: o.self,
+				ReplyTo: replyTo, Tag: tag, Keys: batch[:n],
+			}
+			o.appendCmd(to, &cmd)
+			emitted++
+			batch = batch[n:]
 		}
-		o.appendCmd(to, &cmd)
 		o.groupKeys[to] = o.groupKeys[to][:0]
 	}
-	return len(targets)
+	return emitted
 }
 
-// RouteUpsert splits a KV batch by owner and routes per-owner upserts.
+// RouteUpsert splits a KV batch by owner and routes per-owner upserts,
+// chunked like RouteLookup. The sort used for batch owner resolution is
+// stable, so duplicate keys keep their last-write-wins order.
 func (o *Outbox) RouteUpsert(obj ObjectID, kvs []prefixtree.KV, replyTo int32, tag uint64) int {
 	table := o.r.object(obj).ranged
 	m := o.r.machine
 	m.AdvanceNS(o.core(), o.r.cfg.RouteNSPerKey*float64(len(kvs)))
 	o.routedKeys.Add(int64(len(kvs)))
+	if len(kvs) == 0 {
+		return 0
+	}
 
-	var targets []uint32
-	for _, kv := range kvs {
-		to := table.Owner(kv.Key)
+	routed := kvs
+	if len(kvs) >= sortedRouteMinKeys {
+		o.sortKVs = append(o.sortKVs[:0], kvs...)
+		slices.SortStableFunc(o.sortKVs, func(a, b prefixtree.KV) int {
+			return cmp.Compare(a.Key, b.Key)
+		})
+		routed = o.sortKVs
+		o.sortKeys = o.sortKeys[:0]
+		for _, kv := range routed {
+			o.sortKeys = append(o.sortKeys, kv.Key)
+		}
+		if cap(o.owners) < len(routed) {
+			o.owners = make([]uint32, len(routed))
+		}
+		table.OwnersSorted(o.sortKeys, o.owners[:len(routed)])
+	} else {
+		if cap(o.owners) < len(routed) {
+			o.owners = make([]uint32, len(routed))
+		}
+		for i, kv := range routed {
+			o.owners[i] = table.Owner(kv.Key)
+		}
+	}
+
+	o.targets = o.targets[:0]
+	for i, kv := range routed {
+		to := o.owners[i]
 		if len(o.groupKVs[to]) == 0 {
-			targets = append(targets, to)
+			o.targets = append(o.targets, to)
 		}
 		o.groupKVs[to] = append(o.groupKVs[to], kv)
 	}
-	for _, to := range targets {
-		cmd := command.Command{
-			Op: command.OpUpsert, Object: uint32(obj), Source: o.self,
-			ReplyTo: replyTo, Tag: tag, KVs: o.groupKVs[to],
+	emitted := 0
+	for _, to := range o.targets {
+		batch := o.groupKVs[to]
+		for len(batch) > 0 {
+			n := min(len(batch), o.maxUpsertKVs)
+			cmd := command.Command{
+				Op: command.OpUpsert, Object: uint32(obj), Source: o.self,
+				ReplyTo: replyTo, Tag: tag, KVs: batch[:n],
+			}
+			o.appendCmd(to, &cmd)
+			emitted++
+			batch = batch[n:]
 		}
-		o.appendCmd(to, &cmd)
 		o.groupKVs[to] = o.groupKVs[to][:0]
 	}
-	return len(targets)
+	return emitted
+}
+
+// resolveOwners fills the owner scratch for routed keys, choosing between
+// per-key descents and the sorted one-pass merge. routed must be sorted
+// ascending when its length is at least sortedRouteMinKeys.
+func (o *Outbox) resolveOwners(table *RangeTable, routed []uint64) []uint32 {
+	if cap(o.owners) < len(routed) {
+		o.owners = make([]uint32, len(routed))
+	}
+	owners := o.owners[:len(routed)]
+	if len(routed) >= sortedRouteMinKeys {
+		table.OwnersSorted(routed, owners)
+	} else {
+		for i, k := range routed {
+			owners[i] = table.Owner(k)
+		}
+	}
+	return owners
 }
 
 // RouteScan multicasts a full scan of a size-partitioned object to every
 // holder. It returns the number of targets.
 func (o *Outbox) RouteScan(obj ObjectID, pred colstore.Predicate, replyTo int32, tag uint64) int {
-	holders := o.r.object(obj).bitmap.Holders(nil)
+	o.holderScratch = o.r.object(obj).bitmap.Holders(o.holderScratch[:0])
 	cmd := command.Command{
 		Op: command.OpScan, Object: uint32(obj), Source: o.self,
 		ReplyTo: replyTo, Tag: tag, Pred: pred,
 	}
-	o.multicast(&cmd, holders)
-	return len(holders)
+	o.multicast(&cmd, o.holderScratch)
+	return len(o.holderScratch)
 }
 
 // RouteRangeScan multicasts an index range scan over [lo, hi] to the owning
 // AEUs of a range-partitioned object.
 func (o *Outbox) RouteRangeScan(obj ObjectID, lo, hi uint64, pred colstore.Predicate, replyTo int32, tag uint64) int {
-	entries := o.r.object(obj).ranged.Owners(nil, lo, hi)
-	targets := make([]uint32, len(entries))
-	for i, e := range entries {
-		targets[i] = e.Owner
+	o.entScratch = o.r.object(obj).ranged.Owners(o.entScratch[:0], lo, hi)
+	o.targets = o.targets[:0]
+	for _, e := range o.entScratch {
+		o.targets = append(o.targets, e.Owner)
 	}
+	o.sortKeys = append(o.sortKeys[:0], lo, hi)
 	cmd := command.Command{
 		Op: command.OpScan, Object: uint32(obj), Source: o.self,
-		ReplyTo: replyTo, Tag: tag, Pred: pred, Keys: []uint64{lo, hi},
+		ReplyTo: replyTo, Tag: tag, Pred: pred, Keys: o.sortKeys,
 	}
-	o.multicast(&cmd, targets)
-	return len(targets)
+	o.multicast(&cmd, o.targets)
+	return len(o.targets)
 }
 
 // multicast stores the command once in the multicast table and appends a
@@ -341,6 +443,12 @@ func (r *Router) Inject(aeu uint32, cmd *command.Command) {
 // multicast references by pulling the command from the source AEU's
 // multicast table (charged as a remote read). fn is called for each
 // command. It returns the number of commands delivered.
+//
+// Commands are decoded zero-copy: Keys and KVs may alias the drained inbox
+// buffer (or the AEU's decoder scratch), so they are valid only until fn
+// returns — more precisely, until the next command is decoded or the next
+// Drain swaps the inbox. Callers that retain a command past fn must
+// Clone it (see command.Decoder).
 func (r *Router) Drain(aeu uint32, fn func(command.Command)) int {
 	in := r.inboxes[aeu]
 	core := topology.CoreID(aeu)
@@ -353,11 +461,13 @@ func (r *Router) Drain(aeu uint32, fn func(command.Command)) int {
 	// The owner reads its processing buffer sequentially from local memory.
 	m.Stream(core, node, int64(len(payload)))
 
+	dec := &r.drainDecs[aeu]
 	n := 0
 	for off := 0; off < len(payload); {
 		switch payload[off] {
 		case kindCmd:
-			cmd, used, err := command.Decode(payload[off+1:])
+			var cmd command.Command
+			used, err := dec.DecodeInto(&cmd, payload[off+1:])
 			if err != nil {
 				panic("routing: corrupt inbox frame: " + err.Error())
 			}
@@ -373,13 +483,16 @@ func (r *Router) Drain(aeu uint32, fn func(command.Command)) int {
 			e := &srcBox.mcast[slot]
 			// Pull the command body from the source AEU's local memory.
 			m.Read(core, srcBox.node, srcBox.mcastAddr.Addr+uint64(slot*64), int64(size), 2)
-			cmd, _, err := command.Decode(e.data)
-			if err != nil {
+			var cmd command.Command
+			if _, err := dec.DecodeInto(&cmd, e.data); err != nil {
 				panic("routing: corrupt multicast entry: " + err.Error())
 			}
-			e.refs.Add(-1)
 			m.AdvanceNS(core, r.cfg.DecodeNSPerCommand)
 			fn(cmd)
+			// The reference is released only after fn returns: the decoded
+			// views may alias the multicast entry, and the source recycles
+			// the slot once the count hits zero.
+			e.refs.Add(-1)
 			off += refRecordBytes
 			n++
 		default:

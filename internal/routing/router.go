@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"eris/internal/command"
 	"eris/internal/csbtree"
 	"eris/internal/mem"
 	"eris/internal/metrics"
@@ -74,6 +75,11 @@ type Router struct {
 	inboxes  []*Inbox
 	outboxes []*Outbox
 
+	// drainDecs are per-AEU decoders: Drain(aeu, ...) reuses aeu's decoder
+	// so repeated drains do not allocate. Only the owning AEU drains its
+	// inbox, so no synchronization is needed.
+	drainDecs []command.Decoder
+
 	mu      sync.RWMutex
 	objects map[ObjectID]*object
 }
@@ -100,6 +106,7 @@ func New(machine *numasim.Machine, mems *mem.System, numAEUs int, cfg Config) (*
 	topo := machine.Topology()
 	r.inboxes = make([]*Inbox, numAEUs)
 	r.outboxes = make([]*Outbox, numAEUs)
+	r.drainDecs = make([]command.Decoder, numAEUs)
 	for i := 0; i < numAEUs; i++ {
 		node := topo.NodeOfCore(topology.CoreID(i))
 		r.inboxes[i] = newInbox(mems.Node(node), cfg.InBufBytes, reg, uint32(i))

@@ -49,6 +49,7 @@ const (
 // the flat-array ablation variant.
 type PartitionIndex interface {
 	Lookup(key uint64) uint32
+	LookupBatchSorted(keys []uint64, owners []uint32)
 	Range(dst []csbtree.Entry, lo, hi uint64) []csbtree.Entry
 	Len() int
 }
@@ -90,6 +91,13 @@ func (rt *RangeTable) Owner(key uint64) uint32 {
 // Owners appends the entries intersecting [lo, hi] to dst.
 func (rt *RangeTable) Owners(dst []csbtree.Entry, lo, hi uint64) []csbtree.Entry {
 	return (*rt.idx.Load()).Range(dst, lo, hi)
+}
+
+// OwnersSorted resolves the owner of every key of an ascending-sorted
+// batch in one pass over the partition table (one descent plus a linear
+// merge); owners must have at least len(keys) elements.
+func (rt *RangeTable) OwnersSorted(keys []uint64, owners []uint32) {
+	(*rt.idx.Load()).LookupBatchSorted(keys, owners)
 }
 
 // Entries returns the current partitioning (for monitoring and the

@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# benchdiff.sh — compare hot-path benchmarks of the working tree against a
+# base git ref.
+#
+# Usage: scripts/benchdiff.sh [base-ref] [bench-regexp]
+#   base-ref      git ref to compare against (default: main)
+#   bench-regexp  -bench filter (default: . — every benchmark)
+#
+# Runs the benchmarks of ./internal/... at the base ref (in a temporary
+# worktree, so the working tree is untouched) and at HEAD+working tree,
+# then diffs with benchstat when it is installed and falls back to printing
+# both raw outputs side by side otherwise.
+set -eu
+
+BASE=${1:-main}
+FILTER=${2:-.}
+PKGS="./internal/..."
+COUNT=${BENCHDIFF_COUNT:-6}
+BENCHTIME=${BENCHDIFF_BENCHTIME:-50ms}
+
+repo=$(git rev-parse --show-toplevel)
+cd "$repo"
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"; git worktree remove --force "$out/base" >/dev/null 2>&1 || true' EXIT
+
+echo "== base: $BASE" >&2
+git worktree add --detach "$out/base" "$BASE" >/dev/null
+(cd "$out/base" && go test $PKGS -run=NONE -bench="$FILTER" \
+	-benchtime="$BENCHTIME" -count="$COUNT" -benchmem) >"$out/old.txt"
+
+echo "== head: $(git rev-parse --short HEAD) + working tree" >&2
+go test $PKGS -run=NONE -bench="$FILTER" \
+	-benchtime="$BENCHTIME" -count="$COUNT" -benchmem >"$out/new.txt"
+
+if command -v benchstat >/dev/null 2>&1; then
+	benchstat "$out/old.txt" "$out/new.txt"
+else
+	echo "benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest)"
+	echo "raw results follow; compare by hand."
+	echo
+	echo "---- $BASE ----"
+	grep '^Benchmark' "$out/old.txt"
+	echo
+	echo "---- HEAD ----"
+	grep '^Benchmark' "$out/new.txt"
+fi
