@@ -27,6 +27,7 @@ import (
 	"eris/internal/balance"
 	"eris/internal/colstore"
 	"eris/internal/core"
+	"eris/internal/faults"
 	"eris/internal/metrics"
 	"eris/internal/numasim"
 	"eris/internal/prefixtree"
@@ -79,6 +80,10 @@ type Options struct {
 	// "127.0.0.1:0" for an ephemeral port; MetricsListenAddr reports the
 	// bound address after Start.
 	MetricsAddr string
+	// FaultSeed, when non-zero, enables the deterministic control-plane
+	// fault-injection registry with this seed; arm faults with
+	// DB.InjectFault. Zero (the default) disables injection entirely.
+	FaultSeed int64
 }
 
 // DB is an open engine instance.
@@ -118,6 +123,7 @@ func Open(opts Options) (*DB, error) {
 		Tree:        prefixtree.Config{KeyBits: opts.KeyBits, PrefixBits: 8},
 		Balance:     balance.Config{SampleIntervalSec: opts.BalancerIntervalSec},
 		MetricsAddr: opts.MetricsAddr,
+		FaultSeed:   opts.FaultSeed,
 	})
 	if err != nil {
 		return nil, err
@@ -297,6 +303,81 @@ func (db *DB) Stats() Stats {
 
 // Workers returns the AEU handles for advanced instrumentation.
 func (db *DB) Workers() []*aeu.AEU { return db.engine.AEUs() }
+
+// FaultKinds lists the injectable control-plane fault kinds accepted by
+// InjectFault: "drop_ack", "corrupt_frame", "fail_alloc",
+// "delay_epoch_done", "stall_transfer".
+func FaultKinds() []string {
+	kinds := faults.Kinds()
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		out[i] = k.String()
+	}
+	return out
+}
+
+// InjectFault arms deterministic injection of one fault kind (see
+// FaultKinds). The first `after` eligible events pass untouched, then every
+// `every`-th event fails (every <= 1 fails each one), at most `limit` times
+// (0 = unbounded). Decisions replay byte-for-byte for a given
+// Options.FaultSeed; injection must have been enabled by a non-zero seed.
+func (db *DB) InjectFault(kind string, after, every, limit int) error {
+	k, err := faults.ParseKind(kind)
+	if err != nil {
+		return err
+	}
+	inj := db.engine.Faults()
+	if inj == nil {
+		return fmt.Errorf("eris: fault injection disabled (set Options.FaultSeed)")
+	}
+	inj.Arm(k, faults.Rule{After: after, Every: every, Limit: limit})
+	return nil
+}
+
+// DisarmFaults removes every armed fault rule; injection counters remain
+// visible in the metrics snapshot (faults.injected.*).
+func (db *DB) DisarmFaults() {
+	if inj := db.engine.Faults(); inj != nil {
+		inj.DisarmAll()
+	}
+}
+
+// CheckInvariants verifies routing-table/partition consistency and index
+// counter integrity for every object. The engine must be quiescent (before
+// Start or after Close).
+func (db *DB) CheckInvariants() error { return db.engine.CheckInvariants() }
+
+// BalanceReport summarizes the load balancer's cycle outcomes and
+// fail-soft accounting.
+type BalanceReport struct {
+	Evaluations int64 // sampling evaluations run
+	Cycles      int64 // cycles that published commands (any outcome)
+	Completed   int64 // cycles every involved AEU acknowledged
+	Aborted     int64 // cycles failed before publishing commands
+	TimedOut    int64 // cycles whose ack wait expired
+	Stopped     int64 // cycles interrupted by shutdown
+	Retries     int64 // evaluations re-attempted after a failed cycle
+	AcksDropped int64 // epoch acks lost on delivery
+	AcksStale   int64 // stragglers from timed-out cycles
+	LastError   string
+}
+
+// BalanceReport returns the balancer's fail-soft accounting.
+func (db *DB) BalanceReport() BalanceReport {
+	r := db.engine.Balancer().Report()
+	return BalanceReport{
+		Evaluations: r.Evaluations,
+		Cycles:      r.Cycles,
+		Completed:   r.Completed,
+		Aborted:     r.Aborted,
+		TimedOut:    r.TimedOut,
+		Stopped:     r.Stopped,
+		Retries:     r.Retries,
+		AcksDropped: r.AcksDropped,
+		AcksStale:   r.AcksStale,
+		LastError:   r.LastError,
+	}
+}
 
 // MetricsSnapshot captures every engine instrument — routing buffers,
 // AEUs, balancer, memory managers, interconnect — at one instant. Pair two

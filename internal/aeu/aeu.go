@@ -18,6 +18,7 @@ import (
 
 	"eris/internal/colstore"
 	"eris/internal/command"
+	"eris/internal/faults"
 	"eris/internal/mem"
 	"eris/internal/metrics"
 	"eris/internal/numasim"
@@ -70,6 +71,14 @@ type Partition struct {
 	// (range objects). Only the owning AEU writes them.
 	Lo, Hi uint64
 
+	// Bounds reconciliation state (owning AEU only): a mismatch between
+	// Lo/Hi and the published routing table is adopted only after it has
+	// been observed by two consecutive reconcile sweeps, so the normal
+	// window between a routing-table update and the matching OpBalance
+	// delivery is never mistaken for a lost balance command.
+	reconLo, reconHi uint64
+	reconArmed       bool
+
 	// Monitoring counters sampled by the load balancer.
 	accesses  atomic.Int64 // keys/commands touched in the current window
 	cmdTimePS atomic.Int64 // processing time in the current window
@@ -111,6 +120,15 @@ type transfer struct {
 	det   *colstore.Detached
 	lo    uint64
 	hi    uint64
+	// stalled marks a payload that already took the StallTransfer fault,
+	// so its release cannot stall again.
+	stalled bool
+}
+
+// heldAck is an epoch acknowledgement parked by the DelayEpochDone fault.
+type heldAck struct {
+	obj   routing.ObjectID
+	epoch uint64
 }
 
 // pendingRange is a key range granted to this AEU whose data has not
@@ -143,15 +161,20 @@ type AEU struct {
 	machine *numasim.Machine
 	mems    *mem.System
 	cfg     Config
+	faults  *faults.Injector
 
 	sessions map[routing.ObjectID]*prefixtree.Session
 	parts    map[routing.ObjectID]*Partition
 	partList []*Partition
 
 	// Mailbox for partition transfers (the copy/link payload path).
-	mailMu  sync.Mutex
-	mail    []transfer
-	mailCnt atomic.Int32
+	// stalledMail holds payloads parked by the StallTransfer fault until
+	// the next mailbox round releases them.
+	mailMu      sync.Mutex
+	mail        []transfer
+	stalledMail []transfer
+	mailCnt     atomic.Int32
+	stalledCnt  atomic.Int32
 
 	// Balancing state.
 	pendingFetches map[uint64]int // epoch -> outstanding transfers
@@ -159,6 +182,7 @@ type AEU struct {
 	deferred       []command.Command
 	requeue        []command.Command
 	epochDone      func(aeu uint32, obj routing.ObjectID, epoch uint64)
+	heldAcks       []heldAck // acks parked by the DelayEpochDone fault
 
 	// Workload.
 	Generator Generator
@@ -200,6 +224,9 @@ type AEU struct {
 	forwards    *metrics.Counter
 	deferredCnt *metrics.Counter
 	iterations  *metrics.Counter
+	ctrlErrors  *metrics.Counter // control commands that could not be applied
+	xferErrors  *metrics.Counter // failed fetches / dropped transfers
+	boundsFixed *metrics.Counter // partitions realigned to the routing table
 	groupNS     *metrics.Histogram
 }
 
@@ -235,6 +262,7 @@ func New(r *routing.Router, mems *mem.System, id uint32, cfg Config) *AEU {
 		machine:        machine,
 		mems:           mems,
 		cfg:            cfg.withDefaults(),
+		faults:         r.Faults(),
 		sessions:       make(map[routing.ObjectID]*prefixtree.Session),
 		parts:          make(map[routing.ObjectID]*Partition),
 		pendingFetches: make(map[uint64]int),
@@ -244,6 +272,9 @@ func New(r *routing.Router, mems *mem.System, id uint32, cfg Config) *AEU {
 		forwards:       reg.Counter(prefix + "forwards"),
 		deferredCnt:    reg.Counter(prefix + "deferred"),
 		iterations:     reg.Counter(prefix + "iterations"),
+		ctrlErrors:     reg.Counter(prefix + "control_errors"),
+		xferErrors:     reg.Counter(prefix + "transfer_errors"),
+		boundsFixed:    reg.Counter(prefix + "bounds_reconciled"),
 		// 250 ns to ~65 ms in 10 exponential buckets: command groups span
 		// single-key lookups to full partition scans.
 		groupNS: reg.Histogram(prefix+"group_ns", metrics.ExpBuckets(250, 4, 10)),
@@ -323,12 +354,39 @@ func (a *AEU) Stop() { a.stop.Store(true) }
 func (a *AEU) Stopped() bool { return a.stop.Load() }
 
 // deliverTransfer places a partition payload into the mailbox; called by
-// the sending AEU.
+// the sending AEU. A payload hit by the StallTransfer fault is parked in
+// the stalled queue for one mailbox round — its balancing epoch stays open
+// across loop iterations, exactly the straggler scenario the control plane
+// must survive — and released by the receiving AEU's next loop pass.
 func (a *AEU) deliverTransfer(t transfer) {
+	if !t.stalled && a.faults.Should(faults.StallTransfer) {
+		t.stalled = true
+		a.mailMu.Lock()
+		a.stalledMail = append(a.stalledMail, t)
+		a.mailMu.Unlock()
+		a.stalledCnt.Add(1)
+		return
+	}
 	a.mailMu.Lock()
 	a.mail = append(a.mail, t)
 	a.mailMu.Unlock()
 	a.mailCnt.Add(1)
+}
+
+// releaseStalled moves fault-parked transfer payloads into the live
+// mailbox; it reports whether any were released.
+func (a *AEU) releaseStalled() bool {
+	if a.stalledCnt.Load() == 0 {
+		return false
+	}
+	a.mailMu.Lock()
+	st := a.stalledMail
+	a.stalledMail = nil
+	a.mail = append(a.mail, st...)
+	a.mailMu.Unlock()
+	a.stalledCnt.Add(int32(-len(st)))
+	a.mailCnt.Add(int32(len(st)))
+	return len(st) > 0
 }
 
 // Stats snapshots AEU counters.

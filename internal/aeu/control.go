@@ -1,9 +1,8 @@
 package aeu
 
 import (
-	"fmt"
-
 	"eris/internal/command"
+	"eris/internal/faults"
 	"eris/internal/routing"
 	"eris/internal/topology"
 )
@@ -12,18 +11,28 @@ import (
 // bounds, then request the missing data from the source AEUs (Section
 // 3.3.2). The routing tables were already updated by the balancer; until
 // the fetched data arrives, commands for the granted ranges are deferred.
+//
+// A malformed or misdirected balance command is counted and dropped, never
+// fatal: the balancer's ack wait times out and the next sampling window
+// re-evaluates the imbalance against whatever state survived.
 func (a *AEU) handleBalance(c command.Command) {
 	b := c.Balance
 	if b == nil {
-		panic("aeu: balance command without payload")
+		a.ctrlErrors.Inc()
+		return
 	}
 	obj := routing.ObjectID(c.Object)
 	p := a.parts[obj]
 	if p == nil {
-		panic(fmt.Sprintf("aeu %d: balance for unknown object %d", a.ID, c.Object))
+		// Nothing to rebalance here; ack so the cycle can still complete.
+		a.ctrlErrors.Inc()
+		a.ackEpoch(obj, b.Epoch)
+		return
 	}
+	a.abandonStaleEpochs(b.Epoch)
 	if p.Kind == routing.RangePartitioned {
 		p.Lo, p.Hi = b.NewLo, b.NewHi
+		p.reconArmed = false
 	}
 	if len(b.Fetches) == 0 {
 		a.ackEpoch(obj, b.Epoch)
@@ -50,12 +59,20 @@ func (a *AEU) handleBalance(c command.Command) {
 func (a *AEU) handleFetch(c command.Command) {
 	f := c.Fetch
 	if f == nil {
-		panic("aeu: fetch command without payload")
+		a.ctrlErrors.Inc()
+		return
 	}
 	obj := routing.ObjectID(c.Object)
 	p := a.parts[obj]
 	if p == nil {
-		panic(fmt.Sprintf("aeu %d: fetch for unknown object %d", a.ID, c.Object))
+		// The requester is waiting on this transfer; reply with an error so
+		// it abandons the pending slot instead of keeping the epoch open.
+		a.xferErrors.Inc()
+		a.Outbox().Send(c.Source, &command.Command{
+			Op: command.OpError, Object: c.Object, Source: a.ID,
+			ReplyTo: command.NoReply, Tag: c.Tag,
+		})
+		return
 	}
 	if p.Kind == routing.RangePartitioned && a.overlapsPending(f.Lo, f.Hi) {
 		// Part of the requested range is itself still in flight to this
@@ -99,7 +116,13 @@ func (a *AEU) receiveTransfers() {
 	for _, t := range incoming {
 		p := a.parts[t.obj]
 		if p == nil {
-			panic(fmt.Sprintf("aeu %d: transfer for unknown object %d", a.ID, t.obj))
+			// No local partition to absorb the payload: count it, complete
+			// the fetch slot so the epoch is not stuck forever. The tuples
+			// stay in the source's store when linkable (nothing was copied
+			// out) — the conservation checker sees them there.
+			a.xferErrors.Inc()
+			a.completeFetch(t.obj, t.epoch)
+			continue
 		}
 		switch {
 		case t.ex != nil:
@@ -159,10 +182,11 @@ func (a *AEU) overlapsPending(lo, hi uint64) bool {
 // Settle runs one synchronous loop iteration without workload generation:
 // drain the inbox, process what arrived, absorb transfers, flush. The
 // engine calls it in rounds after the AEU goroutines exited, so that
-// balancing commands and partition payloads still in flight at shutdown
-// are applied instead of lost. It reports whether any work was done.
+// balancing commands and partition payloads still in flight at shutdown —
+// including fault-parked acks and stalled transfers — are applied instead
+// of lost. It reports whether any work was done.
 func (a *AEU) Settle() bool {
-	busy := false
+	busy := a.releaseHeldAcks()
 	if a.router.Drain(a.ID, a.classify) > 0 {
 		busy = true
 	}
@@ -177,18 +201,136 @@ func (a *AEU) Settle() bool {
 		a.processGroups()
 		busy = true
 	}
+	if a.releaseStalled() {
+		busy = true
+	}
 	if a.mailCnt.Load() > 0 {
 		a.receiveTransfers()
+		busy = true
+	}
+	if a.reconcileBounds() {
 		busy = true
 	}
 	a.Outbox().Flush()
 	return busy
 }
 
+// ackEpoch signals the balancer that this AEU finished the epoch. The
+// DelayEpochDone fault parks the ack for one loop round, turning it into a
+// late (possibly post-timeout, stale) acknowledgement.
 func (a *AEU) ackEpoch(obj routing.ObjectID, epoch uint64) {
+	if a.faults.Should(faults.DelayEpochDone) {
+		a.heldAcks = append(a.heldAcks, heldAck{obj: obj, epoch: epoch})
+		return
+	}
 	if a.epochDone != nil {
 		a.epochDone(a.ID, obj, epoch)
 	}
+}
+
+// releaseHeldAcks delivers acks parked by the DelayEpochDone fault; it
+// reports whether any were delivered.
+func (a *AEU) releaseHeldAcks() bool {
+	if len(a.heldAcks) == 0 {
+		return false
+	}
+	for _, h := range a.heldAcks {
+		if a.epochDone != nil {
+			a.epochDone(a.ID, h.obj, h.epoch)
+		}
+	}
+	a.heldAcks = a.heldAcks[:0]
+	return true
+}
+
+// abandonStaleEpochs drops transfer bookkeeping of epochs older than the
+// cycle that just arrived. The balancer runs one cycle at a time, so a new
+// balance command proves every older epoch's wait has ended (completed or
+// timed out); fetch slots an injected fault left open would otherwise defer
+// overlapping commands forever. Late transfers of an abandoned epoch still
+// land safely: completeFetch ignores unknown epochs.
+func (a *AEU) abandonStaleEpochs(current uint64) {
+	stale := false
+	for ep := range a.pendingFetches {
+		if ep < current {
+			delete(a.pendingFetches, ep)
+			stale = true
+		}
+	}
+	if !stale {
+		return
+	}
+	a.xferErrors.Inc()
+	kept := a.pendingRanges[:0]
+	for _, r := range a.pendingRanges {
+		if r.epoch >= current {
+			kept = append(kept, r)
+		}
+	}
+	a.pendingRanges = kept
+	if len(a.deferred) > 0 {
+		a.requeue = append(a.requeue, a.deferred...)
+		a.deferred = a.deferred[:0]
+	}
+}
+
+// handleError abandons the pending fetch slot a failed control command was
+// holding open (Tag carries the balancing epoch), so the cycle completes
+// with whatever data did arrive instead of hanging until timeout.
+func (a *AEU) handleError(c command.Command) {
+	a.xferErrors.Inc()
+	a.completeFetch(routing.ObjectID(c.Object), c.Tag)
+}
+
+// reconcileEvery is how often (in loop iterations) an AEU compares its
+// range-partition bounds against the published routing tables.
+const reconcileEvery = 1024
+
+// reconcileBounds realigns range-partition bounds with the routing tables
+// after a lost balance command: the balancer updates the tables before the
+// commands are sent, so an AEU whose OpBalance was dropped or corrupted
+// keeps stale bounds and bounces commands with the actual owner forever.
+// A mismatch is adopted only when (a) no transfer is in flight locally and
+// (b) the same target bounds were observed by the previous sweep — the
+// short healthy window between a table update and the command's delivery
+// never repeats across two sweeps. The high bound of the last owner is
+// left alone: the routing table cannot distinguish it from the domain end,
+// which only the balancer knows. It reports whether any partition was
+// realigned or newly flagged (Settle uses this to run another round).
+func (a *AEU) reconcileBounds() bool {
+	if len(a.pendingFetches) > 0 || len(a.pendingRanges) > 0 || a.mailCnt.Load() > 0 {
+		return false
+	}
+	progress := false
+	for _, p := range a.partList {
+		if p.Kind != routing.RangePartitioned {
+			continue
+		}
+		entries := a.router.OwnerEntries(p.Object)
+		idx := int(a.ID)
+		if idx >= len(entries) || entries[idx].Owner != a.ID {
+			p.reconArmed = false
+			continue
+		}
+		lo, hi := entries[idx].Low, p.Hi
+		if idx+1 < len(entries) {
+			hi = entries[idx+1].Low - 1
+		}
+		if p.Lo == lo && p.Hi == hi {
+			p.reconArmed = false
+			continue
+		}
+		if p.reconArmed && p.reconLo == lo && p.reconHi == hi {
+			p.Lo, p.Hi = lo, hi
+			p.reconArmed = false
+			a.boundsFixed.Inc()
+			progress = true
+			continue
+		}
+		p.reconLo, p.reconHi, p.reconArmed = lo, hi, true
+		progress = true
+	}
+	return progress
 }
 
 // RegisterPeers wires the AEU set of one engine so fetch handlers can

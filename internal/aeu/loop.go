@@ -25,6 +25,12 @@ func (a *AEU) Run() {
 		a.iterations.Add(1)
 		busy := false
 
+		// Acks parked by the DelayEpochDone fault are released one loop
+		// round after they were produced.
+		if a.releaseHeldAcks() {
+			busy = true
+		}
+
 		// Stage 1+2: drain the incoming buffer, group commands by data
 		// object and type, then process the groups.
 		drained := a.router.Drain(a.ID, a.classify)
@@ -41,10 +47,17 @@ func (a *AEU) Run() {
 			busy = true
 		}
 
-		// Stage 3: balancing and transfer commands.
+		// Stage 3: balancing and transfer commands. Fault-stalled payloads
+		// re-enter the mailbox here, one round late.
+		if a.releaseStalled() {
+			busy = true
+		}
 		if a.mailCnt.Load() > 0 {
 			a.receiveTransfers()
 			busy = true
+		}
+		if iter%reconcileEvery == 0 {
+			a.reconcileBounds()
 		}
 
 		// Workload generation. An AEU whose virtual clock ran far ahead of
@@ -126,8 +139,13 @@ func (a *AEU) classify(c command.Command) {
 		a.handleBalance(c)
 	case command.OpFetch:
 		a.handleFetch(c)
+	case command.OpError:
+		a.handleError(c)
 	default:
-		panic("aeu: unexpected command op " + c.Op.String())
+		// A command that decoded but carries an op this loop does not
+		// serve; dropping it is strictly better than taking the engine
+		// down with it.
+		a.ctrlErrors.Inc()
 	}
 }
 

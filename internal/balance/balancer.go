@@ -7,6 +7,7 @@ import (
 
 	"eris/internal/aeu"
 	"eris/internal/command"
+	"eris/internal/faults"
 	"eris/internal/metrics"
 	"eris/internal/routing"
 	"eris/internal/topology"
@@ -64,6 +65,43 @@ type watched struct {
 	metric   Metric
 	alg      Algorithm
 	domainHi uint64 // exclusive upper bound of the key domain
+
+	// Fail-soft state: after an aborted or timed-out cycle the object is
+	// re-evaluated with capped exponential backoff instead of retrying
+	// every window (a persistently failing plan must not starve the other
+	// watched objects or spin the control plane).
+	failStreak   int
+	backoffUntil float64 // virtual seconds; skip evaluation before this
+}
+
+// Outcome classifies how one balancing cycle ended.
+type Outcome int
+
+// Cycle outcomes. A cycle Completed when every involved AEU acknowledged
+// its epoch; it was Aborted when planning or the routing-table update
+// failed before any command was sent; it TimedOut when the ack wait
+// expired (stragglers may still ack later — those are counted stale); it
+// was Stopped when the engine shut down mid-wait.
+const (
+	Completed Outcome = iota
+	Aborted
+	TimedOut
+	Stopped
+)
+
+// String names the outcome for reports and logs.
+func (o Outcome) String() string {
+	switch o {
+	case Completed:
+		return "completed"
+	case Aborted:
+		return "aborted"
+	case TimedOut:
+		return "timed_out"
+	case Stopped:
+		return "stopped"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
 }
 
 // Cycle records one executed balancing cycle for reporting.
@@ -76,6 +114,9 @@ type Cycle struct {
 	Involved   int
 	MovedEst   uint64
 	AckedInSec float64 // real seconds until all AEUs acked
+	Outcome    Outcome
+	Acked      int    // acks received (== Involved when Completed)
+	Err        string // planning/update failure for Aborted cycles
 }
 
 type ack struct {
@@ -84,11 +125,16 @@ type ack struct {
 	epoch uint64
 }
 
+// backoffCapIntervals caps the exponential retry backoff after failed
+// cycles at this many sampling intervals.
+const backoffCapIntervals = 16
+
 // Balancer is the NUMA-aware load balancer component of the engine.
 type Balancer struct {
 	router  *routing.Router
 	aeus    []*aeu.AEU
 	cfg     Config
+	faults  *faults.Injector
 	watched []watched
 
 	acks   chan ack
@@ -100,11 +146,16 @@ type Balancer struct {
 	cycles []Cycle
 
 	// Counters on the engine's metrics registry (balance.*).
-	cycleCnt   *metrics.Counter
-	movedEst   *metrics.Counter
-	involved   *metrics.Counter
-	evaluated  *metrics.Counter
-	skippedImb *metrics.Counter
+	cycleCnt    *metrics.Counter
+	movedEst    *metrics.Counter
+	involved    *metrics.Counter
+	evaluated   *metrics.Counter
+	skippedImb  *metrics.Counter
+	aborted     *metrics.Counter
+	timeouts    *metrics.Counter
+	retries     *metrics.Counter
+	acksDropped *metrics.Counter
+	acksStale   *metrics.Counter
 }
 
 // New creates a balancer over the engine's AEUs. The caller must install
@@ -112,27 +163,39 @@ type Balancer struct {
 func New(router *routing.Router, aeus []*aeu.AEU, cfg Config) *Balancer {
 	reg := router.Metrics()
 	return &Balancer{
-		router:     router,
-		aeus:       aeus,
-		cfg:        cfg.withDefaults(),
-		acks:       make(chan ack, 8*len(aeus)+16),
-		stopCh:     make(chan struct{}),
-		doneCh:     make(chan struct{}),
-		cycleCnt:   reg.Counter("balance.cycles"),
-		movedEst:   reg.Counter("balance.moved_tuples_est"),
-		involved:   reg.Counter("balance.involved_aeus"),
-		evaluated:  reg.Counter("balance.evaluations"),
-		skippedImb: reg.Counter("balance.below_threshold"),
+		router:      router,
+		aeus:        aeus,
+		cfg:         cfg.withDefaults(),
+		faults:      router.Faults(),
+		acks:        make(chan ack, 8*len(aeus)+16),
+		stopCh:      make(chan struct{}),
+		doneCh:      make(chan struct{}),
+		cycleCnt:    reg.Counter("balance.cycles"),
+		movedEst:    reg.Counter("balance.moved_tuples_est"),
+		involved:    reg.Counter("balance.involved_aeus"),
+		evaluated:   reg.Counter("balance.evaluations"),
+		skippedImb:  reg.Counter("balance.below_threshold"),
+		aborted:     reg.Counter("balance.aborted"),
+		timeouts:    reg.Counter("balance.timeouts"),
+		retries:     reg.Counter("balance.retries"),
+		acksDropped: reg.Counter("balance.acks_dropped"),
+		acksStale:   reg.Counter("balance.acks_stale"),
 	}
 }
 
-// Ack is the AEU epoch-done callback.
+// Ack is the AEU epoch-done callback. Every lost ack — injected, or a full
+// channel under pathological load — is counted: the cycle's wait then times
+// out and the next sampling window re-evaluates, so loss degrades progress
+// but never correctness.
 func (b *Balancer) Ack(aeuID uint32, obj routing.ObjectID, epoch uint64) {
+	if b.faults.Should(faults.DropAck) {
+		b.acksDropped.Inc()
+		return
+	}
 	select {
 	case b.acks <- ack{aeu: aeuID, obj: obj, epoch: epoch}:
 	default:
-		// Dropping is safe: the cycle's ack wait times out and the next
-		// sampling window re-evaluates the imbalance.
+		b.acksDropped.Inc()
 	}
 }
 
@@ -202,7 +265,12 @@ func (b *Balancer) Run() {
 		for i := range b.watched {
 			b.evaluate(&b.watched[i], now)
 		}
-		next = clockSec() + b.cfg.SampleIntervalSec
+		// Advance from the scheduled time, not from the clock after the
+		// evaluation: a slow cycle must not push every later window out
+		// (drift), it just swallows the windows it overran.
+		for next <= clockSec() {
+			next += b.cfg.SampleIntervalSec
+		}
 	}
 }
 
@@ -213,13 +281,23 @@ func (b *Balancer) Stop() {
 }
 
 // evaluate samples one object and runs a balancing cycle when the
-// imbalance exceeds the threshold.
+// imbalance exceeds the threshold. A cycle that cannot be planned or
+// published is aborted — counted, recorded, backed off — never fatal: the
+// state it leaves behind is exactly the state before the cycle, and the
+// next window re-evaluates the same imbalance.
 func (b *Balancer) evaluate(w *watched, nowSec float64) {
+	if nowSec < w.backoffUntil {
+		return
+	}
 	b.evaluated.Inc()
+	if w.failStreak > 0 {
+		b.retries.Inc()
+	}
 	loads := b.SampleLoads(*w)
 	imb := Imbalance(loads)
 	if imb <= b.cfg.Threshold {
 		b.skippedImb.Inc()
+		w.failStreak, w.backoffUntil = 0, 0
 		return
 	}
 	var (
@@ -233,14 +311,16 @@ func (b *Balancer) evaluate(w *watched, nowSec float64) {
 		plan, err = b.planSizeCycle(w)
 	}
 	if err != nil {
-		panic(fmt.Sprintf("balance: planning object %d: %v", w.obj, err))
+		b.abort(w, nowSec, imb, fmt.Errorf("planning object %d: %w", w.obj, err))
+		return
 	}
 	if plan == nil || plan.Involved() == 0 {
 		return
 	}
 	if plan.Entries != nil {
 		if err := b.router.UpdateRange(w.obj, plan.Entries); err != nil {
-			panic(fmt.Sprintf("balance: updating routing table: %v", err))
+			b.abort(w, nowSec, imb, fmt.Errorf("updating routing table for object %d: %w", w.obj, err))
+			return
 		}
 	}
 	for aeuID, bal := range plan.Commands {
@@ -251,18 +331,50 @@ func (b *Balancer) evaluate(w *watched, nowSec float64) {
 		})
 	}
 	start := time.Now()
-	b.waitAcks(plan.Epoch, plan.Involved())
+	outcome, acked := b.waitAcks(plan.Epoch, plan.Involved())
 	b.cycleCnt.Inc()
 	b.movedEst.Add(int64(plan.MovedTuplesEstimate))
 	b.involved.Add(int64(plan.Involved()))
+	switch outcome {
+	case Completed:
+		w.failStreak, w.backoffUntil = 0, 0
+	case TimedOut:
+		b.timeouts.Inc()
+		b.backoff(w, nowSec)
+	}
 	b.mu.Lock()
 	b.cycles = append(b.cycles, Cycle{
 		Epoch: plan.Epoch, Object: w.obj, TimeSec: nowSec,
 		Imbalance: imb, Algorithm: w.alg.Name(),
 		Involved: plan.Involved(), MovedEst: plan.MovedTuplesEstimate,
 		AckedInSec: time.Since(start).Seconds(),
+		Outcome:    outcome, Acked: acked,
 	})
 	b.mu.Unlock()
+}
+
+// abort records a cycle that failed before any command was sent.
+func (b *Balancer) abort(w *watched, nowSec, imb float64, err error) {
+	b.aborted.Inc()
+	b.backoff(w, nowSec)
+	b.mu.Lock()
+	b.cycles = append(b.cycles, Cycle{
+		Epoch: b.epoch, Object: w.obj, TimeSec: nowSec,
+		Imbalance: imb, Algorithm: w.alg.Name(),
+		Outcome: Aborted, Err: err.Error(),
+	})
+	b.mu.Unlock()
+}
+
+// backoff pushes the object's next evaluation out exponentially with its
+// failure streak, capped at backoffCapIntervals sampling windows.
+func (b *Balancer) backoff(w *watched, nowSec float64) {
+	w.failStreak++
+	wait := 1 << (w.failStreak - 1)
+	if w.failStreak > 4 || wait > backoffCapIntervals {
+		wait = backoffCapIntervals
+	}
+	w.backoffUntil = nowSec + float64(wait)*b.cfg.SampleIntervalSec
 }
 
 func (b *Balancer) planRangeCycle(w *watched, loads []float64) (*Plan, error) {
@@ -298,9 +410,11 @@ func (b *Balancer) planSizeCycle(w *watched) (*Plan, error) {
 	return PlanSize(b.epoch, counts, nodes)
 }
 
-// waitAcks blocks until `expect` acknowledgements for epoch arrive or the
-// timeout fires.
-func (b *Balancer) waitAcks(epoch uint64, expect int) {
+// waitAcks blocks until `expect` acknowledgements for epoch arrive, the
+// timeout fires, or the balancer is stopped. Acknowledgements for other
+// epochs are stragglers from a timed-out cycle; they are counted stale and
+// discarded so they can never satisfy — or corrupt — the current wait.
+func (b *Balancer) waitAcks(epoch uint64, expect int) (Outcome, int) {
 	deadline := time.After(b.cfg.AckTimeout)
 	got := 0
 	for got < expect {
@@ -308,11 +422,54 @@ func (b *Balancer) waitAcks(epoch uint64, expect int) {
 		case a := <-b.acks:
 			if a.epoch == epoch {
 				got++
+			} else {
+				b.acksStale.Inc()
 			}
 		case <-deadline:
-			return
+			return TimedOut, got
 		case <-b.stopCh:
-			return
+			return Stopped, got
 		}
 	}
+	return Completed, got
+}
+
+// Report summarizes the balancer's fail-soft accounting.
+type Report struct {
+	Evaluations int64
+	Cycles      int64 // cycles that published commands (any outcome)
+	Completed   int64
+	Aborted     int64 // failed before publishing (plan / table update)
+	TimedOut    int64
+	Stopped     int64
+	Retries     int64 // evaluations re-attempted after a failed cycle
+	AcksDropped int64
+	AcksStale   int64
+	LastError   string // most recent abort reason, "" if none
+}
+
+// Report aggregates the executed cycles and failure counters.
+func (b *Balancer) Report() Report {
+	r := Report{
+		Evaluations: b.evaluated.Load(),
+		Cycles:      b.cycleCnt.Load(),
+		Aborted:     b.aborted.Load(),
+		TimedOut:    b.timeouts.Load(),
+		Retries:     b.retries.Load(),
+		AcksDropped: b.acksDropped.Load(),
+		AcksStale:   b.acksStale.Load(),
+	}
+	b.mu.Lock()
+	for _, c := range b.cycles {
+		switch c.Outcome {
+		case Completed:
+			r.Completed++
+		case Stopped:
+			r.Stopped++
+		case Aborted:
+			r.LastError = c.Err
+		}
+	}
+	b.mu.Unlock()
+	return r
 }

@@ -1,0 +1,169 @@
+package balance
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eris/internal/csbtree"
+	"eris/internal/faults"
+	"eris/internal/mem"
+	"eris/internal/numasim"
+	"eris/internal/routing"
+	"eris/internal/topology"
+)
+
+// TestFaultPlanErrorAborts drives evaluate against a routing table whose
+// ownership order was corrupted: the cycle must abort (counted, recorded
+// with the planning error), back off exponentially, and count the retry —
+// never panic.
+func TestFaultPlanErrorAborts(t *testing.T) {
+	r := newRig(t, 2, 2000, routing.RangePartitioned)
+	r.bal.Watch(testObj, 2000, AccessFrequency, OneShot{})
+	// Swap the owners (Lows stay sorted, so the table itself builds fine);
+	// range planning requires ordered ownership and must reject this.
+	bad := []csbtree.Entry{{Low: 0, Owner: 1}, {Low: 1000, Owner: 0}}
+	if err := r.router.UpdateRange(testObj, bad); err != nil {
+		t.Fatal(err)
+	}
+	w := &r.bal.watched[0]
+	interval := r.bal.cfg.SampleIntervalSec
+
+	pAccesses(r.aeus[0].Partition(testObj), 100)
+	r.bal.evaluate(w, 1.0)
+
+	cycles := r.bal.Cycles()
+	if len(cycles) != 1 || cycles[0].Outcome != Aborted {
+		t.Fatalf("cycles after plan failure = %+v", cycles)
+	}
+	if !strings.Contains(cycles[0].Err, "ordered ownership") {
+		t.Fatalf("abort error = %q", cycles[0].Err)
+	}
+	if got := r.bal.aborted.Load(); got != 1 {
+		t.Fatalf("balance.aborted = %d", got)
+	}
+	if w.failStreak != 1 || w.backoffUntil <= 1.0 {
+		t.Fatalf("backoff state = streak %d until %g", w.failStreak, w.backoffUntil)
+	}
+
+	// Within the backoff window the object is not evaluated at all.
+	evals := r.bal.evaluated.Load()
+	pAccesses(r.aeus[0].Partition(testObj), 100)
+	r.bal.evaluate(w, 1.0+interval/2)
+	if got := r.bal.evaluated.Load(); got != evals {
+		t.Fatalf("evaluated during backoff: %d -> %d", evals, got)
+	}
+
+	// After the backoff expires the retry is counted, fails again, and the
+	// backoff doubles.
+	r.bal.evaluate(w, w.backoffUntil)
+	if got := r.bal.retries.Load(); got != 1 {
+		t.Fatalf("balance.retries = %d", got)
+	}
+	if got := r.bal.aborted.Load(); got != 2 {
+		t.Fatalf("balance.aborted after retry = %d", got)
+	}
+	if w.failStreak != 2 {
+		t.Fatalf("failStreak after second abort = %d", w.failStreak)
+	}
+
+	// A long streak is capped at backoffCapIntervals sampling windows.
+	w.failStreak = 40
+	r.bal.backoff(w, 5.0)
+	if want := 5.0 + backoffCapIntervals*interval; w.backoffUntil != want {
+		t.Fatalf("capped backoff = %g, want %g", w.backoffUntil, want)
+	}
+}
+
+// TestFaultWaitAcksStaleTimeoutStopped exercises the three non-happy exits
+// of the ack wait: a stale ack from a timed-out predecessor cycle is counted
+// and discarded (it must never satisfy the current wait), an expired wait
+// reports TimedOut, and a stopped balancer reports Stopped.
+func TestFaultWaitAcksStaleTimeoutStopped(t *testing.T) {
+	r := newRig(t, 2, 2000, routing.RangePartitioned)
+	b := New(r.router, r.aeus, Config{AckTimeout: 20 * time.Millisecond})
+
+	b.Ack(1, testObj, 3) // straggler from an older epoch
+	b.Ack(0, testObj, 7)
+	outcome, got := b.waitAcks(7, 1)
+	if outcome != Completed || got != 1 {
+		t.Fatalf("waitAcks = %v, %d", outcome, got)
+	}
+	if st := b.acksStale.Load(); st != 1 {
+		t.Fatalf("balance.acks_stale = %d", st)
+	}
+
+	if outcome, got = b.waitAcks(9, 1); outcome != TimedOut || got != 0 {
+		t.Fatalf("timed-out waitAcks = %v, %d", outcome, got)
+	}
+
+	close(b.stopCh)
+	if outcome, _ = b.waitAcks(9, 1); outcome != Stopped {
+		t.Fatalf("stopped waitAcks = %v", outcome)
+	}
+}
+
+// TestFaultDropAckCounted arms the DropAck injection and checks that a
+// dropped epoch acknowledgement is counted instead of silently lost, and
+// that delivery resumes once the rule's limit is exhausted.
+func TestFaultDropAckCounted(t *testing.T) {
+	machine, err := numasim.New(topology.SingleNode(2), numasim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(7)
+	router, err := routing.New(machine, mem.NewSystem(machine), 2, routing.Config{Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(router, nil, Config{})
+
+	inj.Arm(faults.DropAck, faults.Rule{Every: 1, Limit: 1})
+	b.Ack(0, testObj, 1)
+	if b.acksDropped.Load() != 1 || len(b.acks) != 0 {
+		t.Fatalf("ack not dropped: dropped=%d queued=%d", b.acksDropped.Load(), len(b.acks))
+	}
+	b.Ack(0, testObj, 1)
+	if len(b.acks) != 1 {
+		t.Fatalf("ack after limit not delivered: queued=%d", len(b.acks))
+	}
+	if inj.Injected(faults.DropAck) != 1 {
+		t.Fatalf("faults.injected = %d", inj.Injected(faults.DropAck))
+	}
+}
+
+// TestFaultSamplingWindowNoDrift pins the drift fix in Run: the next window
+// is advanced from the scheduled time, not from the clock after the
+// evaluation, so a late evaluation keeps the sampling grid. The AEU
+// goroutines are not started, so virtual time moves only when the test
+// advances it: after evaluating at 1.5 intervals the next window is the 2.0
+// grid point — the old drifting scheduler would have waited until 2.5.
+func TestFaultSamplingWindowNoDrift(t *testing.T) {
+	r := newRig(t, 2, 2000, routing.RangePartitioned)
+	r.bal.Watch(testObj, 2000, AccessFrequency, OneShot{})
+	go r.bal.Run()
+	defer r.bal.Stop()
+	time.Sleep(50 * time.Millisecond) // let Run latch its first schedule at ~0
+
+	intervalNS := r.bal.cfg.SampleIntervalSec * 1e9
+	advance := func(ns float64) {
+		for c := 0; c < 2; c++ {
+			r.machine.AdvanceNS(topology.CoreID(c), ns)
+		}
+	}
+	waitEvals := func(n int64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for r.bal.evaluated.Load() < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("evaluations stuck at %d, want %d", r.bal.evaluated.Load(), n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	advance(1.5 * intervalNS) // clock 1.5 I: first window (1.0 I) fires late
+	waitEvals(1)
+	advance(0.6 * intervalNS) // clock 2.1 I: the kept grid fires at 2.0 I
+	waitEvals(2)
+}

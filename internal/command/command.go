@@ -45,6 +45,10 @@ const (
 	// OpFetch asks the receiving AEU to hand a range (or tuple count) of
 	// its partition to the requester via the transfer path.
 	OpFetch
+	// OpError reports a failed control command back to its issuer (Tag
+	// carries the correlation id — for fetches, the balancing epoch), so
+	// the issuer can abandon the pending slot instead of waiting forever.
+	OpError
 	numOps
 )
 
@@ -63,6 +67,8 @@ func (o Op) String() string {
 		return "balance"
 	case OpFetch:
 		return "fetch"
+	case OpError:
+		return "error"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }

@@ -16,6 +16,7 @@ import (
 	"eris/internal/balance"
 	"eris/internal/colstore"
 	"eris/internal/csbtree"
+	"eris/internal/faults"
 	"eris/internal/mem"
 	"eris/internal/metrics"
 	"eris/internal/numasim"
@@ -48,6 +49,13 @@ type Config struct {
 	// "127.0.0.1:0" for an ephemeral port; MetricsListenAddr reports the
 	// bound address after Start.
 	MetricsAddr string
+	// FaultSeed, when non-zero, enables the deterministic fault-injection
+	// registry (see internal/faults) seeded with this value and threads it
+	// through the routing drain, the AEU control path, the balancer's ack
+	// delivery and the node memory managers. Zero leaves every hook nil —
+	// the production configuration pays one pointer comparison per hook.
+	// Alternatively, an injector passed via Routing.Faults is adopted as is.
+	FaultSeed int64
 }
 
 // objectMeta is engine-side bookkeeping per data object.
@@ -66,6 +74,7 @@ type Engine struct {
 	router   *routing.Router
 	aeus     []*aeu.AEU
 	balancer *balance.Balancer
+	faults   *faults.Injector
 
 	objects map[routing.ObjectID]*objectMeta
 	watched bool
@@ -104,6 +113,15 @@ func New(cfg Config) (*Engine, error) {
 		reg = metrics.NewRegistry()
 		cfg.Routing.Metrics = reg
 	}
+	inj := cfg.Routing.Faults
+	if inj == nil && cfg.FaultSeed != 0 {
+		inj = faults.New(cfg.FaultSeed)
+		cfg.Routing.Faults = inj
+	}
+	if inj != nil {
+		inj.RegisterMetrics(reg)
+		mems.SetFaults(inj)
+	}
 	router, err := routing.New(machine, mems, n, cfg.Routing)
 	if err != nil {
 		return nil, err
@@ -115,6 +133,7 @@ func New(cfg Config) (*Engine, error) {
 		machine: machine,
 		mems:    mems,
 		router:  router,
+		faults:  inj,
 		reg:     reg,
 		objects: make(map[routing.ObjectID]*objectMeta),
 		pending: make(map[uint64]*pendingOp),
@@ -164,6 +183,10 @@ func (e *Engine) AEUs() []*aeu.AEU { return e.aeus }
 
 // Balancer exposes the load balancer (cycle reports).
 func (e *Engine) Balancer() *balance.Balancer { return e.balancer }
+
+// Faults exposes the fault-injection registry (nil unless Config.FaultSeed
+// or Config.Routing.Faults enabled it).
+func (e *Engine) Faults() *faults.Injector { return e.faults }
 
 // NumAEUs returns the worker count.
 func (e *Engine) NumAEUs() int { return len(e.aeus) }

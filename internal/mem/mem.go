@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"eris/internal/faults"
 	"eris/internal/metrics"
 	"eris/internal/numasim"
 	"eris/internal/topology"
@@ -41,15 +42,17 @@ func (b Block) Valid() bool { return b.Addr != 0 && b.Size > 0 }
 type Manager struct {
 	machine *numasim.Machine
 	node    topology.NodeID
+	faults  *faults.Injector
 
 	mu   sync.Mutex
 	free map[int64][]Block // recycled blocks by exact size
 
 	// Statistics (atomic; read by monitors without the lock).
-	allocBytes atomic.Int64 // bytes handed out and not yet freed
-	peakBytes  atomic.Int64
-	lockAllocs atomic.Int64 // allocations that took the shared lock
-	cacheHits  atomic.Int64 // allocations served by AEU-local caches
+	allocBytes  atomic.Int64 // bytes handed out and not yet freed
+	peakBytes   atomic.Int64
+	lockAllocs  atomic.Int64 // allocations that took the shared lock
+	cacheHits   atomic.Int64 // allocations served by AEU-local caches
+	allocFaults atomic.Int64 // transient allocation failures absorbed
 }
 
 // NewManager builds the manager for one node of the machine.
@@ -65,9 +68,16 @@ func NewManager(machine *numasim.Machine, node topology.NodeID) *Manager {
 func (m *Manager) Node() topology.NodeID { return m.node }
 
 // Alloc returns a block of exactly size bytes homed on the manager's node.
+// Transient allocation failure — a first-class concern for in-memory
+// engines (Durner et al.) and an injectable fault here — is absorbed by the
+// manager: it is counted (mem.node.<n>.alloc_failures) and retried as if a
+// reclaim pass freed the memory, so callers never observe it.
 func (m *Manager) Alloc(size int64) Block {
 	if size <= 0 {
 		panic(fmt.Sprintf("mem: Alloc(%d)", size))
+	}
+	for try := 0; try < 8 && m.faults.Should(faults.FailAlloc); try++ {
+		m.allocFaults.Add(1)
 	}
 	m.lockAllocs.Add(1)
 	m.mu.Lock()
@@ -120,6 +130,7 @@ type Stats struct {
 	PeakBytes      int64
 	LockAllocs     int64 // allocations that hit the shared manager
 	CacheHits      int64 // allocations served entirely AEU-locally
+	AllocFaults    int64 // transient allocation failures absorbed by retry
 }
 
 // Stats returns a snapshot of the manager's counters.
@@ -129,6 +140,7 @@ func (m *Manager) Stats() Stats {
 		PeakBytes:      m.peakBytes.Load(),
 		LockAllocs:     m.lockAllocs.Load(),
 		CacheHits:      m.cacheHits.Load(),
+		AllocFaults:    m.allocFaults.Load(),
 	}
 }
 
@@ -213,6 +225,15 @@ func NewSystem(machine *numasim.Machine) *System {
 	return s
 }
 
+// SetFaults arms every node manager with the engine's fault-injection
+// registry; call before any allocation traffic. A nil injector disables
+// the allocation hook.
+func (s *System) SetFaults(inj *faults.Injector) {
+	for _, m := range s.managers {
+		m.faults = inj
+	}
+}
+
 // Node returns the manager of one node.
 func (s *System) Node(n topology.NodeID) *Manager { return s.managers[n] }
 
@@ -250,6 +271,7 @@ func (s *System) RegisterMetrics(reg *metrics.Registry) {
 		reg.GaugeFunc(prefix+"peak_bytes", mgr.PeakBytes)
 		reg.CounterFunc(prefix+"lock_allocs", mgr.lockAllocs.Load)
 		reg.CounterFunc(prefix+"cache_hits", mgr.cacheHits.Load)
+		reg.CounterFunc(prefix+"alloc_failures", mgr.allocFaults.Load)
 	}
 	reg.GaugeFunc("mem.allocated_bytes_total", s.TotalAllocated)
 }

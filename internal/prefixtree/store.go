@@ -103,6 +103,12 @@ type Store struct {
 	cfg     Config
 	alloc   allocFunc
 
+	// home is the node new slabs land on when the allocator is single-node
+	// (ERIS stores, SingleNode baseline); homeKnown is false for the
+	// interleaved baseline, where the home must be derived per slab.
+	home      topology.NodeID
+	homeKnown bool
+
 	fanout      int
 	levels      int // total levels including the leaf level
 	bitmapWords int
@@ -129,7 +135,11 @@ type allocFunc func(size int64) mem.Block
 // NewStore creates a store whose slabs are allocated on a single node
 // through mgr.
 func NewStore(machine *numasim.Machine, mgr *mem.Manager, cfg Config) (*Store, error) {
-	return newStore(machine, cfg, mgr.Alloc)
+	s, err := newStore(machine, cfg, mgr.Alloc)
+	if err == nil {
+		s.home, s.homeKnown = mgr.Node(), true
+	}
+	return s, err
 }
 
 // NewInterleavedStore creates a store whose slabs round-robin across all
@@ -146,7 +156,11 @@ func NewInterleavedStore(machine *numasim.Machine, sys *mem.System, cfg Config) 
 // NewSingleNodeStore creates a store allocating everything on one node,
 // regardless of who asks — the paper's "Single RAM" worst case.
 func NewSingleNodeStore(machine *numasim.Machine, sys *mem.System, node topology.NodeID, cfg Config) (*Store, error) {
-	return newStore(machine, cfg, sys.Node(node).Alloc)
+	s, err := newStore(machine, cfg, sys.Node(node).Alloc)
+	if err == nil {
+		s.home, s.homeKnown = node, true
+	}
+	return s, err
 }
 
 func newStore(machine *numasim.Machine, cfg Config, alloc allocFunc) (*Store, error) {

@@ -284,10 +284,17 @@ func (t *Tree) RebuildFrom(core topology.CoreID, kvs []KV) {
 	}
 }
 
-// homeOfSource reports the home node new allocations of src land on; for
-// interleaved stores this is approximate (reporting uses per-slab homes).
+// homeOfSource reports the home node new allocations of src land on.
+// Single-node stores record their home at construction, so the answer is
+// exact even before the first slab exists (an empty target store must not
+// misreport node 0 — it would charge the rebuild stream to the wrong
+// multiprocessor). Interleaved stores have no single home; the first slab's
+// home is the approximation used for reporting.
 func homeOfSource(src nodeSource) topology.NodeID {
 	s := src.Store()
+	if s.homeKnown {
+		return s.home
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.innerLen > 0 {
@@ -296,8 +303,6 @@ func homeOfSource(src nodeSource) topology.NodeID {
 	if s.leafLen > 0 {
 		return s.leaf[0].block.Home
 	}
-	// Empty store: allocate nothing; report node of first future slab by
-	// probing the allocator would allocate memory, so default to node 0.
 	return 0
 }
 

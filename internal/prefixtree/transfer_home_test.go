@@ -1,0 +1,56 @@
+package prefixtree
+
+import (
+	"testing"
+
+	"eris/internal/mem"
+	"eris/internal/numasim"
+	"eris/internal/topology"
+)
+
+// An empty store on a non-zero node must still report its own home: the
+// balancer rebuilds transferred partitions into freshly created stores, and
+// charging the rebuild stream to node 0 would both skew the cost model and
+// hide cross-node traffic.
+func TestHomeOfSourceEmptyStore(t *testing.T) {
+	machine, err := numasim.New(topology.Intel(), numasim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := mem.NewSystem(machine)
+	const node = topology.NodeID(3)
+	store, err := NewStore(machine, sys.Node(node), Config{KeyBits: 32, PrefixBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := store.NewSession()
+	if got := homeOfSource(sess); got != node {
+		t.Fatalf("homeOfSource(empty store on node %d) = %d", node, got)
+	}
+
+	// The answer must not change once slabs exist.
+	tree := NewTree(sess)
+	tree.Upsert(0, 7, 7, 1)
+	if got := homeOfSource(sess); got != node {
+		t.Fatalf("homeOfSource(populated store on node %d) = %d", node, got)
+	}
+
+	single, err := NewSingleNodeStore(machine, sys, node, Config{KeyBits: 32, PrefixBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := homeOfSource(single.NewSession()); got != node {
+		t.Fatalf("homeOfSource(empty single-node store on node %d) = %d", node, got)
+	}
+
+	// Interleaved stores have no declared home; empty falls back to 0 and a
+	// populated one reports the first slab's home.
+	inter, err := NewInterleavedStore(machine, sys, Config{KeyBits: 32, PrefixBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isess := inter.NewSession()
+	if got := homeOfSource(isess); got != 0 {
+		t.Fatalf("homeOfSource(empty interleaved store) = %d", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"eris/internal/colstore"
 	"eris/internal/command"
 	"eris/internal/csbtree"
+	"eris/internal/faults"
 	"eris/internal/mem"
 	"eris/internal/metrics"
 	"eris/internal/prefixtree"
@@ -444,6 +445,14 @@ func (r *Router) Inject(aeu uint32, cmd *command.Command) {
 // multicast table (charged as a remote read). fn is called for each
 // command. It returns the number of commands delivered.
 //
+// Corruption is fail-soft: a frame that does not decode, or an unknown
+// frame kind, ends the drain of this payload — frame boundaries live
+// inside the payload, so nothing past the corruption can be trusted — and
+// the dropped remainder is counted (routing.drain.*). A multicast
+// reference whose record is intact but whose entry does not decode is
+// skipped record-by-record, releasing the reference so the source can
+// recycle the slot.
+//
 // Commands are decoded zero-copy: Keys and KVs may alias the drained inbox
 // buffer (or the AEU's decoder scratch), so they are valid only until fn
 // returns — more precisely, until the next command is decoded or the next
@@ -461,6 +470,13 @@ func (r *Router) Drain(aeu uint32, fn func(command.Command)) int {
 	// The owner reads its processing buffer sequentially from local memory.
 	m.Stream(core, node, int64(len(payload)))
 
+	if len(payload) > 1 && r.faults.Should(faults.CorruptFrame) {
+		// Injected corruption: clobber the first byte after the frame kind
+		// (the command op, or a multicast source id), so the regular
+		// corruption handling below runs against a genuinely broken stream.
+		payload[0+1] ^= 0xA5
+	}
+
 	dec := &r.drainDecs[aeu]
 	n := 0
 	for off := 0; off < len(payload); {
@@ -469,23 +485,43 @@ func (r *Router) Drain(aeu uint32, fn func(command.Command)) int {
 			var cmd command.Command
 			used, err := dec.DecodeInto(&cmd, payload[off+1:])
 			if err != nil {
-				panic("routing: corrupt inbox frame: " + err.Error())
+				r.corruptFrames.Inc()
+				r.droppedBytes.Add(int64(len(payload) - off))
+				return n
 			}
 			m.AdvanceNS(core, r.cfg.DecodeNSPerCommand)
 			fn(cmd)
 			off += 1 + used
 			n++
 		case kindRef:
+			if off+refRecordBytes > len(payload) {
+				r.corruptFrames.Inc()
+				r.droppedBytes.Add(int64(len(payload) - off))
+				return n
+			}
 			src := binary.LittleEndian.Uint32(payload[off+1:])
 			slot := binary.LittleEndian.Uint32(payload[off+5:])
 			size := binary.LittleEndian.Uint32(payload[off+9:])
+			if int(src) >= len(r.outboxes) || int(slot) >= len(r.outboxes[src].mcast) {
+				// Reference into nowhere: the record itself is corrupt. Its
+				// length is fixed, so the stream resynchronizes at the next
+				// record; there is no entry reference to release.
+				r.corruptFrames.Inc()
+				r.droppedBytes.Add(refRecordBytes)
+				off += refRecordBytes
+				continue
+			}
 			srcBox := r.outboxes[src]
 			e := &srcBox.mcast[slot]
 			// Pull the command body from the source AEU's local memory.
 			m.Read(core, srcBox.node, srcBox.mcastAddr.Addr+uint64(slot*64), int64(size), 2)
 			var cmd command.Command
 			if _, err := dec.DecodeInto(&cmd, e.data); err != nil {
-				panic("routing: corrupt multicast entry: " + err.Error())
+				r.corruptFrames.Inc()
+				r.droppedBytes.Add(int64(size))
+				e.refs.Add(-1)
+				off += refRecordBytes
+				continue
 			}
 			m.AdvanceNS(core, r.cfg.DecodeNSPerCommand)
 			fn(cmd)
@@ -496,7 +532,9 @@ func (r *Router) Drain(aeu uint32, fn func(command.Command)) int {
 			off += refRecordBytes
 			n++
 		default:
-			panic("routing: unknown frame kind")
+			r.unknownFrames.Inc()
+			r.droppedBytes.Add(int64(len(payload) - off))
+			return n
 		}
 	}
 	return n

@@ -6,6 +6,7 @@ import (
 
 	"eris/internal/command"
 	"eris/internal/csbtree"
+	"eris/internal/faults"
 	"eris/internal/mem"
 	"eris/internal/metrics"
 	"eris/internal/numasim"
@@ -39,6 +40,9 @@ type Config struct {
 	// engine passes its own; nil creates a private registry (standalone
 	// routers in tests and examples).
 	Metrics *metrics.Registry
+	// Faults is the engine's fault-injection registry; nil (the default)
+	// disables every hook point.
+	Faults *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -71,9 +75,19 @@ type Router struct {
 	cfg     Config
 	numAEUs int
 	metrics *metrics.Registry
+	faults  *faults.Injector
 
 	inboxes  []*Inbox
 	outboxes []*Outbox
+
+	// Drain-path corruption accounting: a frame that does not decode (or an
+	// out-of-range multicast reference) is counted and dropped instead of
+	// crashing the engine; the remainder of an unparseable unicast stream is
+	// charged to droppedBytes because frame boundaries are part of the
+	// payload and cannot be recovered past the corruption.
+	corruptFrames *metrics.Counter
+	unknownFrames *metrics.Counter
+	droppedBytes  *metrics.Counter
 
 	// drainDecs are per-AEU decoders: Drain(aeu, ...) reuses aeu's decoder
 	// so repeated drains do not allocate. Only the owning AEU drains its
@@ -96,12 +110,16 @@ func New(machine *numasim.Machine, mems *mem.System, numAEUs int, cfg Config) (*
 		reg = metrics.NewRegistry()
 	}
 	r := &Router{
-		machine: machine,
-		mems:    mems,
-		cfg:     cfg,
-		numAEUs: numAEUs,
-		metrics: reg,
-		objects: make(map[ObjectID]*object),
+		machine:       machine,
+		mems:          mems,
+		cfg:           cfg,
+		numAEUs:       numAEUs,
+		metrics:       reg,
+		faults:        cfg.Faults,
+		objects:       make(map[ObjectID]*object),
+		corruptFrames: reg.Counter("routing.drain.corrupt_frames"),
+		unknownFrames: reg.Counter("routing.drain.unknown_frames"),
+		droppedBytes:  reg.Counter("routing.drain.dropped_bytes"),
 	}
 	topo := machine.Topology()
 	r.inboxes = make([]*Inbox, numAEUs)
@@ -117,6 +135,10 @@ func New(machine *numasim.Machine, mems *mem.System, numAEUs int, cfg Config) (*
 
 // Metrics returns the registry the routing layer's counters live on.
 func (r *Router) Metrics() *metrics.Registry { return r.metrics }
+
+// Faults returns the engine's fault-injection registry (nil when injection
+// is disabled); the AEUs and the balancer pick their hooks up from here.
+func (r *Router) Faults() *faults.Injector { return r.faults }
 
 // NumAEUs returns the number of workers the router serves.
 func (r *Router) NumAEUs() int { return r.numAEUs }
