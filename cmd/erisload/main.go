@@ -2,35 +2,56 @@
 // against an ERIS engine through the public API and reports throughput and
 // interconnect counters — a smoke/load-test tool for the storage engine.
 //
+// With -remote addr it instead drives the workload over the eriswire
+// protocol against a running erisserve: a connection pool of -conns
+// pipelined connections shared by -workers goroutines issuing batches of
+// 64 for -dur REAL seconds (in local mode -dur is virtual seconds).
+//
 // Usage:
 //
 //	erisload [-machine intel] [-workers N] [-keys 1048576] [-dur 0.002]
 //	         [-mix lookup|upsert|scan] [-balancer oneshot|maN] [-hot 0.25]
+//	erisload -remote 127.0.0.1:7807 [-conns 4] [-workers 16] [-dur 1]
+//	         [-mix lookup|upsert|scan] [-hot 0.25]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"eris"
 	"eris/internal/aeu"
+	"eris/internal/client"
 	"eris/internal/core"
 	"eris/internal/hwcounter"
+	"eris/internal/metrics"
+	"eris/internal/prefixtree"
+	"eris/internal/wire"
 	"eris/internal/workload"
 )
 
 func main() {
 	machine := flag.String("machine", "intel", "simulated machine: intel, amd, sgi, single")
-	workers := flag.Int("workers", 0, "AEU count (0 = all cores)")
+	workers := flag.Int("workers", 0, "AEU count; with -remote, load goroutines (0 = default)")
 	keys := flag.Uint64("keys", 1<<20, "key domain size")
-	dur := flag.Float64("dur", 0.002, "measured virtual seconds")
+	dur := flag.Float64("dur", 0.002, "measured virtual seconds (real seconds with -remote)")
 	mix := flag.String("mix", "lookup", "workload: lookup, upsert, or scan")
 	balancer := flag.String("balancer", "", "load balancing algorithm (oneshot, maN; empty = off)")
 	hot := flag.Float64("hot", 0, "restrict lookups to the first fraction of the domain (0 = uniform)")
 	metricsAddr := flag.String("metricsaddr", "", "serve live engine metrics as JSON on this address (e.g. 127.0.0.1:0)")
+	remote := flag.String("remote", "", "drive a running erisserve at this address instead of an in-process engine")
+	conns := flag.Int("conns", 4, "pooled connections with -remote")
 	flag.Parse()
+
+	if *remote != "" {
+		runRemote(*remote, *conns, *workers, *dur, *mix, *hot)
+		return
+	}
 
 	db, err := eris.Open(eris.Options{
 		Machine: *machine, Workers: *workers,
@@ -110,4 +131,116 @@ func main() {
 		fmt.Printf("balancing cycles: %d\n", len(cycles))
 	}
 	fmt.Printf("(real time: %.1fs)\n", time.Since(start).Seconds())
+}
+
+// runRemote drives the workload over eriswire against a running erisserve.
+// The key domain comes from the server's handshake object table, so the
+// client needs no -keys flag; lookup/upsert target the first index object,
+// scan targets the first column (or falls back to index range scans).
+func runRemote(addr string, conns, workers int, durSec float64, mix string, hot float64) {
+	if workers <= 0 {
+		workers = 2 * conns
+	}
+	reg := metrics.NewRegistry()
+	pool, err := client.NewPool(addr, conns, client.Options{Metrics: reg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+
+	wantKind := wire.KindIndex
+	if mix == "scan" {
+		wantKind = wire.KindColumn
+	}
+	var obj wire.ObjectInfo
+	found := false
+	for _, o := range pool.Get().Objects() {
+		if o.Kind == wantKind {
+			obj, found = o, true
+			break
+		}
+	}
+	if !found && mix == "scan" {
+		// No column on the server: scan the first index by range instead.
+		for _, o := range pool.Get().Objects() {
+			if o.Kind == wire.KindIndex {
+				obj, found = o, true
+				break
+			}
+		}
+	}
+	if !found {
+		log.Fatalf("server at %s exports no suitable object for mix %q", addr, mix)
+	}
+
+	var keygen workload.KeyGen = workload.Uniform{Domain: obj.Domain}
+	if hot > 0 && hot < 1 {
+		keygen = workload.HotRange{Lo: 0, Hi: uint64(float64(obj.Domain) * hot)}
+	}
+
+	const batch = 64
+	var ops, tuples atomic.Uint64
+	deadline := time.Now().Add(time.Duration(durSec * float64(time.Second)))
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			keyBuf := make([]uint64, batch)
+			kvBuf := make([]prefixtree.KV, batch)
+			for time.Now().Before(deadline) {
+				c := pool.Get()
+				var err error
+				switch mix {
+				case "lookup":
+					for i := range keyBuf {
+						keyBuf[i] = keygen.Key(rng, 0)
+					}
+					var kvs []prefixtree.KV
+					kvs, err = c.Lookup(obj.ID, keyBuf)
+					tuples.Add(uint64(len(kvs)))
+				case "upsert":
+					for i := range kvBuf {
+						kvBuf[i] = prefixtree.KV{Key: keygen.Key(rng, 0), Value: uint64(rng.Int63())}
+					}
+					err = c.Upsert(obj.ID, kvBuf)
+					tuples.Add(batch)
+				case "scan":
+					var agg client.ScanAggregate
+					if obj.Kind == wire.KindColumn {
+						agg, err = c.ColScan(obj.ID, eris.PredAll())
+					} else {
+						lo := keygen.Key(rng, 0)
+						agg, err = c.ScanRange(obj.ID, lo, lo+999, eris.PredAll())
+					}
+					tuples.Add(agg.Matched)
+				default:
+					log.Fatalf("unknown mix %q", mix)
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+				ops.Add(1)
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		log.Fatalf("remote workload: %v", err)
+	default:
+	}
+
+	snap := reg.Snapshot()
+	n := ops.Load()
+	fmt.Printf("remote %s: %s workload on object %q (domain %d), %d conns, %d workers\n",
+		addr, mix, obj.Name, obj.Domain, pool.Size(), workers)
+	fmt.Printf("%d batches (%d tuples) in %.2fs: %.0f batch/s, %.0f tuple/s\n",
+		n, tuples.Load(), durSec, float64(n)/durSec, float64(tuples.Load())/durSec)
+	fmt.Printf("client: %d requests, %d errors, %d connection errors\n",
+		snap.Counter("client.requests"), snap.Counter("client.errors"),
+		snap.Counter("client.conn_errors"))
 }

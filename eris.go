@@ -21,6 +21,8 @@
 package eris
 
 import (
+	"sort"
+
 	"fmt"
 
 	"eris/internal/aeu"
@@ -32,7 +34,9 @@ import (
 	"eris/internal/numasim"
 	"eris/internal/prefixtree"
 	"eris/internal/routing"
+	"eris/internal/server"
 	"eris/internal/topology"
+	"eris/internal/wire"
 )
 
 // KV is a key/value pair.
@@ -80,6 +84,17 @@ type Options struct {
 	// "127.0.0.1:0" for an ephemeral port; MetricsListenAddr reports the
 	// bound address after Start.
 	MetricsAddr string
+	// ListenAddr, when non-empty, serves the engine over the eriswire TCP
+	// protocol while it runs: Start binds the address and accepts
+	// connections, Close drains them (in-flight requests finish and their
+	// responses flush before the engine stops). Use "127.0.0.1:0" for an
+	// ephemeral port; ServeAddr reports the bound address after Start.
+	// Connect with the internal/client package or `erisload -remote`.
+	ListenAddr string
+	// MaxInFlight bounds concurrently executing requests per served
+	// connection (0 = the server default); beyond it the connection's
+	// reader stalls and TCP backpressure throttles the client.
+	MaxInFlight int
 	// FaultSeed, when non-zero, enables the deterministic control-plane
 	// fault-injection registry with this seed; arm faults with
 	// DB.InjectFault. Zero (the default) disables injection entirely.
@@ -93,6 +108,10 @@ type DB struct {
 	nextID  routing.ObjectID
 	byName  map[string]routing.ObjectID
 	started bool
+
+	listenAddr  string
+	maxInFlight int
+	server      *server.Server
 }
 
 // Open builds an engine from options; create objects, optionally bulk-load
@@ -128,7 +147,10 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{engine: e, alg: alg, byName: make(map[string]routing.ObjectID)}, nil
+	return &DB{
+		engine: e, alg: alg, byName: make(map[string]routing.ObjectID),
+		listenAddr: opts.ListenAddr, maxInFlight: opts.MaxInFlight,
+	}, nil
 }
 
 func parseAlgorithm(name string) (balance.Algorithm, error) {
@@ -219,6 +241,11 @@ func (ix *Index) Lookup(keys []uint64) ([]KV, error) {
 	return ix.db.engine.Lookup(ix.id, keys)
 }
 
+// Delete removes keys (engine must be started); absent keys are ignored.
+func (ix *Index) Delete(keys []uint64) error {
+	return ix.db.engine.Delete(ix.id, keys)
+}
+
 // ScanRange aggregates values of keys in [lo, hi] matching pred.
 func (ix *Index) ScanRange(lo, hi uint64, pred Predicate) (ScanResult, error) {
 	return ix.db.engine.ScanRange(ix.id, lo, hi, pred)
@@ -272,17 +299,62 @@ func (c *Column) Scan(pred Predicate) (ScanResult, error) {
 	return c.db.engine.Scan(c.id, pred)
 }
 
-// Start launches the AEUs (and the balancer when enabled).
+// Start launches the AEUs (and the balancer when enabled), then brings up
+// the wire server when Options.ListenAddr is set.
 func (db *DB) Start() error {
 	if err := db.engine.Start(); err != nil {
 		return err
 	}
 	db.started = true
+	if db.listenAddr != "" {
+		srv := server.New(db.engine, db.objectTable(), server.Options{
+			MaxInFlight: db.maxInFlight,
+			Faults:      db.engine.Faults(),
+		})
+		if err := srv.Listen(db.listenAddr); err != nil {
+			db.engine.Stop()
+			return err
+		}
+		db.server = srv
+	}
 	return nil
 }
 
-// Close stops the engine; safe to call multiple times.
-func (db *DB) Close() error { return db.engine.Close() }
+// objectTable builds the Welcome object table the wire server announces.
+func (db *DB) objectTable() []wire.ObjectInfo {
+	out := make([]wire.ObjectInfo, 0, len(db.byName))
+	for name, id := range db.byName {
+		info := wire.ObjectInfo{ID: uint32(id), Name: name, Kind: wire.KindColumn}
+		if kind, err := db.engine.ObjectKind(id); err == nil && kind == routing.RangePartitioned {
+			info.Kind = wire.KindIndex
+			info.Domain, _ = db.engine.Domain(id)
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ServeAddr returns the wire server's bound address ("" when
+// Options.ListenAddr was empty or Start has not run).
+func (db *DB) ServeAddr() string {
+	if db.server == nil {
+		return ""
+	}
+	return db.server.Addr()
+}
+
+// Close stops the engine; safe to call multiple times. When the wire
+// server is running it is drained first — in-flight remote requests
+// complete and their responses flush before the engine goes down, so a
+// write acknowledged over the wire is never lost to shutdown.
+func (db *DB) Close() error {
+	if db.server != nil {
+		db.server.Close()
+		db.server = nil
+	}
+	return db.engine.Close()
+}
 
 // Stats summarizes engine activity.
 type Stats struct {
@@ -304,9 +376,11 @@ func (db *DB) Stats() Stats {
 // Workers returns the AEU handles for advanced instrumentation.
 func (db *DB) Workers() []*aeu.AEU { return db.engine.AEUs() }
 
-// FaultKinds lists the injectable control-plane fault kinds accepted by
-// InjectFault: "drop_ack", "corrupt_frame", "fail_alloc",
-// "delay_epoch_done", "stall_transfer".
+// FaultKinds lists the injectable fault kinds accepted by InjectFault:
+// the control-plane kinds "drop_ack", "corrupt_frame", "fail_alloc",
+// "delay_epoch_done", "stall_transfer", and the wire-server kinds
+// "drop_conn" (close a connection in place of a response) and
+// "slow_write" (delay a response write).
 func FaultKinds() []string {
 	kinds := faults.Kinds()
 	out := make([]string, len(kinds))

@@ -190,7 +190,7 @@ type AEU struct {
 	genDone   bool
 	skewed    bool
 
-	onClientResult func(tag uint64, from uint32, kvs []prefixtree.KV)
+	onClientResult func(tag uint64, from uint32, kvs []prefixtree.KV, answered int)
 
 	stop     atomic.Bool
 	timeline *Timeline
@@ -298,7 +298,10 @@ func (a *AEU) SetEpochDone(fn func(aeu uint32, obj routing.ObjectID, epoch uint6
 // SetClientResult installs the engine's client result callback. The kvs
 // slice may alias decoder or reply scratch that is reused immediately
 // after the callback returns; implementations must copy what they keep.
-func (a *AEU) SetClientResult(fn func(tag uint64, from uint32, kvs []prefixtree.KV)) {
+// answered counts how many request keys (scan commands, for scans) the
+// reply settles, which exceeds len(kvs) for missed lookups and for
+// upsert/delete acks.
+func (a *AEU) SetClientResult(fn func(tag uint64, from uint32, kvs []prefixtree.KV, answered int)) {
 	a.onClientResult = fn
 }
 

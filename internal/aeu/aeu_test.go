@@ -112,7 +112,7 @@ func TestLookupAndUpsertProcessing(t *testing.T) {
 	var mu sync.Mutex
 	var results []prefixtree.KV
 	for _, a := range h.aeus {
-		a.SetClientResult(func(tag uint64, from uint32, kvs []prefixtree.KV) {
+		a.SetClientResult(func(tag uint64, from uint32, kvs []prefixtree.KV, answered int) {
 			mu.Lock()
 			results = append(results, kvs...)
 			mu.Unlock()
@@ -331,7 +331,7 @@ func TestColumnScanSharing(t *testing.T) {
 
 	var mu sync.Mutex
 	got := map[uint64][]prefixtree.KV{}
-	a0.SetClientResult(func(tag uint64, from uint32, kvs []prefixtree.KV) {
+	a0.SetClientResult(func(tag uint64, from uint32, kvs []prefixtree.KV, answered int) {
 		mu.Lock()
 		got[tag] = kvs
 		mu.Unlock()

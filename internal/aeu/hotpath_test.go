@@ -114,7 +114,7 @@ func TestScanBoundsClonedFromCallerBuffer(t *testing.T) {
 		p.Tree.Upsert(a0.Core, k, k, 1)
 	}
 	var got []prefixtree.KV
-	a0.SetClientResult(func(tag uint64, from uint32, kvs []prefixtree.KV) {
+	a0.SetClientResult(func(tag uint64, from uint32, kvs []prefixtree.KV, answered int) {
 		got = append(got, kvs...)
 	})
 	bounds := []uint64{410, 420}
@@ -127,11 +127,14 @@ func TestScanBoundsClonedFromCallerBuffer(t *testing.T) {
 	// clobbering the caller's slice before the group is processed.
 	bounds[0], bounds[1] = 999, 999
 	a0.processGroups()
-	if len(got) != 1 {
+	if len(got) != 2 { // {matched, sum} plus the coverage interval
 		t.Fatalf("results = %+v", got)
 	}
 	if got[0].Key != 11 { // matched count over [410,420]
 		t.Fatalf("scan matched %d keys, want 11 (bounds not cloned?)", got[0].Key)
+	}
+	if got[1].Key != 410 || got[1].Value != 420 {
+		t.Fatalf("coverage = [%d, %d], want [410, 420]", got[1].Key, got[1].Value)
 	}
 }
 

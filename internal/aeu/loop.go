@@ -110,7 +110,7 @@ func (a *AEU) updateSkew() {
 // immediately, and retained scan bounds are cloned into the group's arena.
 func (a *AEU) classify(c command.Command) {
 	switch c.Op {
-	case command.OpLookup, command.OpUpsert:
+	case command.OpLookup, command.OpUpsert, command.OpDelete:
 		k := groupKey{obj: routing.ObjectID(c.Object), op: c.Op, replyTo: c.ReplyTo, tag: c.Tag, source: c.Source}
 		if c.ReplyTo == command.NoReply {
 			// Results are consumed locally: commands from all sources can
@@ -195,6 +195,8 @@ func (a *AEU) processGroups() {
 			a.processLookups(k, g, p)
 		case command.OpUpsert:
 			a.processUpserts(k, g, p)
+		case command.OpDelete:
+			a.processDeletes(k, g, p)
 		case command.OpScan:
 			a.processScans(g, p)
 		}
@@ -281,7 +283,43 @@ func (a *AEU) processLookups(k groupKey, g *group, p *Partition) {
 		}
 	}
 	a.scratch.replyKVs = kvs
-	a.reply(k, kvs)
+	a.reply(k, kvs, len(valid))
+}
+
+// processDeletes mirrors processLookups: split by validity, forward stale
+// keys, defer keys whose range is in transit, delete the rest.
+func (a *AEU) processDeletes(k groupKey, g *group, p *Partition) {
+	valid := a.scratch.valid[:0]
+	foreign := a.scratch.foreign[:0]
+	deferredIdx := a.scratch.deferredIdx[:0]
+	a.splitValid(p, g.keys, &valid, &deferredIdx, &foreign)
+	a.scratch.valid, a.scratch.foreign, a.scratch.deferredIdx = valid, foreign, deferredIdx
+
+	if len(foreign) > 0 {
+		a.machine.AdvanceNS(a.Core, forwardNSPerKey*float64(len(foreign)))
+		a.Outbox().RouteDelete(k.obj, foreign, k.replyTo, k.tag)
+		a.forwards.Add(int64(len(foreign)))
+	}
+	if len(deferredIdx) > 0 {
+		keys := make([]uint64, len(deferredIdx))
+		for i, idx := range deferredIdx {
+			keys[i] = g.keys[idx]
+		}
+		a.deferred = append(a.deferred, command.Command{
+			Op: command.OpDelete, Object: uint32(k.obj), Source: k.source,
+			ReplyTo: k.replyTo, Tag: k.tag, Keys: keys,
+		})
+		a.deferredCnt.Add(int64(len(keys)))
+	}
+	if len(valid) == 0 {
+		return
+	}
+	p.Tree.DeleteBatch(a.Core, valid)
+	p.accesses.Add(int64(len(valid)))
+	a.countOps(int64(len(valid)))
+	if k.replyTo != command.NoReply {
+		a.reply(k, nil, len(valid)) // delete ack without payload
+	}
 }
 
 func (a *AEU) processUpserts(k groupKey, g *group, p *Partition) {
@@ -320,7 +358,7 @@ func (a *AEU) processUpserts(k groupKey, g *group, p *Partition) {
 	p.accesses.Add(int64(len(validKVs)))
 	a.countOps(int64(len(validKVs)))
 	if k.replyTo != command.NoReply {
-		a.reply(k, nil) // upsert ack without payload
+		a.reply(k, nil, len(validKVs)) // upsert ack without payload
 	}
 }
 
@@ -357,7 +395,7 @@ func (a *AEU) processColumnScans(g *group, p *Partition) {
 		}
 		kvs := append(a.scratch.replyKVs[:0], prefixtree.KV{Key: aggs[i].matched, Value: aggs[i].sum})
 		a.scratch.replyKVs = kvs
-		a.reply(groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source}, kvs)
+		a.reply(groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source}, kvs, 1)
 	}
 }
 
@@ -371,6 +409,14 @@ func (a *AEU) processIndexScans(g *group, p *Partition) {
 			if c.Keys[1] < hi {
 				hi = c.Keys[1]
 			}
+		}
+		if lo <= hi && a.overlapsPending(lo, hi) {
+			// Part of the effective range was granted to this AEU but its
+			// tuples are still in transit; answering now would silently
+			// miss them. Defer the scan until the transfer lands.
+			a.deferred = append(a.deferred, c.Clone())
+			a.deferredCnt.Add(1)
+			continue
 		}
 		if c.Limit > 0 {
 			// Rows mode: materialize up to Limit matching pairs and route
@@ -388,7 +434,7 @@ func (a *AEU) processIndexScans(g *group, p *Partition) {
 			p.accesses.Add(1)
 			a.countOps(1)
 			if c.ReplyTo != command.NoReply {
-				a.reply(groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source}, rows)
+				a.reply(groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source}, rows, 1)
 			}
 			continue
 		}
@@ -405,9 +451,18 @@ func (a *AEU) processIndexScans(g *group, p *Partition) {
 		p.accesses.Add(1)
 		a.countOps(1)
 		if c.ReplyTo != command.NoReply {
+			// Aggregate replies carry a coverage interval after the
+			// {matched, sum} pair: the key range this answer actually
+			// inspected. The issuer unions the intervals of all replies and
+			// retries the scan when they leave a gap in (or overlap) the
+			// requested range — the exactness handshake that makes range
+			// scans correct while the balancer is moving partition bounds.
 			kvs := append(a.scratch.replyKVs[:0], prefixtree.KV{Key: matched, Value: sum})
+			if lo <= hi {
+				kvs = append(kvs, prefixtree.KV{Key: lo, Value: hi})
+			}
 			a.scratch.replyKVs = kvs
-			a.reply(groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source}, kvs)
+			a.reply(groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source}, kvs, 1)
 		}
 	}
 }
@@ -426,18 +481,41 @@ func (a *AEU) forwardGroup(k groupKey, g *group) {
 			a.Outbox().RouteUpsert(k.obj, g.kvs, k.replyTo, k.tag)
 			a.forwards.Add(int64(len(g.kvs)))
 		}
+	case command.OpDelete:
+		if len(g.keys) > 0 {
+			a.Outbox().RouteDelete(k.obj, g.keys, k.replyTo, k.tag)
+			a.forwards.Add(int64(len(g.keys)))
+		}
 	case command.OpScan:
-		// A scan reaching a non-holder is dropped: the multicast bitmap
-		// was stale, and the new holder set received the same scan.
+		// A scan reaching a non-holder saw a stale multicast bitmap; the
+		// data lives elsewhere. Answer with an empty result carrying no
+		// coverage so the issuer detects the gap and retries, instead of
+		// waiting for a reply that will never come.
+		for _, c := range g.scans {
+			if c.ReplyTo == command.NoReply {
+				continue
+			}
+			rk := groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source}
+			if c.Limit > 0 {
+				a.reply(rk, nil, 1)
+			} else {
+				kvs := append(a.scratch.replyKVs[:0], prefixtree.KV{})
+				a.scratch.replyKVs = kvs
+				a.reply(rk, kvs, 1)
+			}
+		}
 		a.forwards.Add(int64(len(g.scans)))
 	}
 }
 
 // reply routes a result to the requester or the engine's client callback.
-func (a *AEU) reply(k groupKey, kvs []prefixtree.KV) {
+// answered is the number of request keys (or, for scans, scan commands)
+// this reply settles — it can exceed len(kvs) for lookups that missed and
+// upsert/delete acks, which carry no payload.
+func (a *AEU) reply(k groupKey, kvs []prefixtree.KV, answered int) {
 	if k.replyTo == ClientReply {
 		if a.onClientResult != nil {
-			a.onClientResult(k.tag, a.ID, kvs)
+			a.onClientResult(k.tag, a.ID, kvs, answered)
 		}
 		return
 	}
@@ -453,6 +531,6 @@ func (a *AEU) reply(k groupKey, kvs []prefixtree.KV) {
 // arriving here are for the engine client.
 func (a *AEU) handleResult(c command.Command) {
 	if a.onClientResult != nil {
-		a.onClientResult(c.Tag, c.Source, c.KVs)
+		a.onClientResult(c.Tag, c.Source, c.KVs, len(c.KVs))
 	}
 }

@@ -1,0 +1,357 @@
+// Package client is the Go client for the eriswire protocol
+// (internal/wire): a connection-pooled, pipelining front end to an
+// internal/server instance. Every synchronous call tags its request,
+// writes the frame and parks on a per-tag channel; a single reader
+// goroutine per connection dispatches responses by tag, so any number of
+// goroutines can keep batches in flight on one connection and responses
+// may return in any order.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"eris/internal/colstore"
+	"eris/internal/metrics"
+	"eris/internal/prefixtree"
+	"eris/internal/wire"
+)
+
+// ErrClosed is returned for calls on a closed client (or one whose
+// connection died; the pending calls fail with the transport error).
+var ErrClosed = errors.New("client: connection closed")
+
+// Options tunes a client connection.
+type Options struct {
+	// DialTimeout bounds the TCP connect and the handshake (default 5s).
+	DialTimeout time.Duration
+	// Metrics, when non-nil, receives client.* counters; a pool's
+	// connections share the registry passed to NewPool.
+	Metrics *metrics.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Client is one protocol connection. All methods are safe for concurrent
+// use; concurrent calls pipeline onto the single connection.
+type Client struct {
+	nc      net.Conn
+	objects []wire.ObjectInfo
+	byName  map[string]wire.ObjectInfo
+
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+	enc []byte // write-side encode scratch, guarded by wmu
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Msg
+	nextTag uint64
+	err     error // terminal transport error; set once, then all calls fail
+	closed  bool
+
+	requests  *metrics.Counter
+	errsCtr   *metrics.Counter
+	connErrs  *metrics.Counter
+	readerEnd sync.WaitGroup
+}
+
+// Dial connects, performs the handshake and starts the reader.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	nc.SetDeadline(time.Now().Add(opts.DialTimeout))
+	hello := wire.Msg{Type: wire.THello, Magic: wire.Magic, Version: wire.Version}
+	frame, err := wire.AppendFrame(nil, &hello)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if _, err := nc.Write(frame); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake write: %w", err)
+	}
+	var welcome wire.Msg
+	if _, err := wire.ReadMsg(nc, &welcome, nil); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake read: %w", err)
+	}
+	if welcome.Type != wire.TWelcome {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: unexpected %v", welcome.Type)
+	}
+	if welcome.Version != wire.Version {
+		nc.Close()
+		return nil, fmt.Errorf("client: protocol version %d, want %d", welcome.Version, wire.Version)
+	}
+	nc.SetDeadline(time.Time{})
+
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	c := &Client{
+		nc:       nc,
+		objects:  welcome.Objects,
+		byName:   make(map[string]wire.ObjectInfo, len(welcome.Objects)),
+		bw:       bufio.NewWriter(nc),
+		pending:  make(map[uint64]chan wire.Msg),
+		requests: reg.Counter("client.requests"),
+		errsCtr:  reg.Counter("client.errors"),
+		connErrs: reg.Counter("client.conn_errors"),
+	}
+	for _, o := range welcome.Objects {
+		c.byName[o.Name] = o
+	}
+	c.readerEnd.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Objects returns the server's object table from the handshake.
+func (c *Client) Objects() []wire.ObjectInfo { return c.objects }
+
+// Object resolves an object by name.
+func (c *Client) Object(name string) (wire.ObjectInfo, bool) {
+	o, ok := c.byName[name]
+	return o, ok
+}
+
+// Close tears the connection down; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.nc.Close()
+	c.readerEnd.Wait()
+	return nil
+}
+
+// readLoop dispatches responses to the per-tag channels until the
+// connection ends; it then fails every pending call.
+func (c *Client) readLoop() {
+	defer c.readerEnd.Done()
+	var buf []byte
+	for {
+		var m wire.Msg
+		var err error
+		if buf, err = wire.ReadMsg(c.nc, &m, buf); err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[m.Tag]
+		delete(c.pending, m.Tag)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+	}
+}
+
+// fail marks the connection dead and unblocks every pending call.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		if c.closed {
+			c.err = ErrClosed
+		} else {
+			c.err = fmt.Errorf("client: connection lost: %w", err)
+			c.connErrs.Inc()
+		}
+	}
+	pend := c.pending
+	c.pending = make(map[uint64]chan wire.Msg)
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, ch := range pend {
+		close(ch) // a closed channel yields the zero Msg: call sees c.err
+	}
+}
+
+// roundTrip sends one tagged request and waits for its response.
+func (c *Client) roundTrip(req *wire.Msg) (wire.Msg, error) {
+	ch := make(chan wire.Msg, 1)
+	c.mu.Lock()
+	if c.err != nil || c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return wire.Msg{}, err
+	}
+	c.nextTag++
+	req.Tag = c.nextTag
+	c.pending[req.Tag] = ch
+	c.mu.Unlock()
+	c.requests.Inc()
+
+	c.wmu.Lock()
+	enc, err := wire.AppendFrame(c.enc[:0], req)
+	if err == nil {
+		c.enc = enc
+		_, err = c.bw.Write(enc)
+		if err == nil {
+			err = c.bw.Flush()
+		}
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err)
+	}
+
+	m, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return wire.Msg{}, err
+	}
+	if m.Type == wire.TError {
+		c.errsCtr.Inc()
+		return wire.Msg{}, fmt.Errorf("client: server error: %s", m.Err)
+	}
+	return m, nil
+}
+
+func (c *Client) expect(req *wire.Msg, want wire.Type) (wire.Msg, error) {
+	m, err := c.roundTrip(req)
+	if err != nil {
+		return m, err
+	}
+	if m.Type != want {
+		err := fmt.Errorf("client: unexpected %v response to %v", m.Type, req.Type)
+		c.fail(err)
+		return wire.Msg{}, err
+	}
+	return m, nil
+}
+
+// Lookup returns the found pairs for a batch of keys, sorted by key.
+func (c *Client) Lookup(object uint32, keys []uint64) ([]prefixtree.KV, error) {
+	m, err := c.expect(&wire.Msg{Type: wire.TLookup, Object: object, Keys: keys}, wire.TResult)
+	if err != nil {
+		return nil, err
+	}
+	return m.KVs, nil
+}
+
+// Upsert writes a batch of pairs; a nil error means the engine applied it.
+func (c *Client) Upsert(object uint32, kvs []prefixtree.KV) error {
+	_, err := c.expect(&wire.Msg{Type: wire.TUpsert, Object: object, KVs: kvs}, wire.TAck)
+	return err
+}
+
+// Delete removes a batch of keys.
+func (c *Client) Delete(object uint32, keys []uint64) error {
+	_, err := c.expect(&wire.Msg{Type: wire.TDelete, Object: object, Keys: keys}, wire.TAck)
+	return err
+}
+
+// ScanAggregate mirrors core.ScanAggregate on the wire.
+type ScanAggregate struct {
+	Matched uint64
+	Sum     uint64
+}
+
+// ScanRange aggregates index values in [lo, hi] matching pred.
+func (c *Client) ScanRange(object uint32, lo, hi uint64, pred colstore.Predicate) (ScanAggregate, error) {
+	m, err := c.expect(&wire.Msg{Type: wire.TScan, Object: object, Lo: lo, Hi: hi, Pred: pred}, wire.TAgg)
+	if err != nil {
+		return ScanAggregate{}, err
+	}
+	return ScanAggregate{Matched: m.Matched, Sum: m.Sum}, nil
+}
+
+// ScanRows materializes up to limit matching rows of [lo, hi], sorted.
+func (c *Client) ScanRows(object uint32, lo, hi uint64, pred colstore.Predicate, limit int) ([]prefixtree.KV, error) {
+	if limit <= 0 {
+		return nil, fmt.Errorf("client: ScanRows needs a positive limit")
+	}
+	m, err := c.expect(&wire.Msg{Type: wire.TScan, Object: object, Lo: lo, Hi: hi, Pred: pred, Limit: uint32(limit)}, wire.TResult)
+	if err != nil {
+		return nil, err
+	}
+	return m.KVs, nil
+}
+
+// ColScan aggregates a column object's values matching pred.
+func (c *Client) ColScan(object uint32, pred colstore.Predicate) (ScanAggregate, error) {
+	m, err := c.expect(&wire.Msg{Type: wire.TColScan, Object: object, Pred: pred}, wire.TAgg)
+	if err != nil {
+		return ScanAggregate{}, err
+	}
+	return ScanAggregate{Matched: m.Matched, Sum: m.Sum}, nil
+}
+
+// Pool is a fixed-size pool of client connections to one server; Get hands
+// them out round-robin. Use one pool per process and let concurrent
+// goroutines share connections — each connection pipelines.
+type Pool struct {
+	clients []*Client
+	next    uint64
+	mu      sync.Mutex
+}
+
+// NewPool dials size connections to addr. On error, already-dialed
+// connections are closed.
+func NewPool(addr string, size int, opts Options) (*Pool, error) {
+	if size <= 0 {
+		size = 1
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
+	p := &Pool{clients: make([]*Client, 0, size)}
+	for i := 0; i < size; i++ {
+		c, err := Dial(addr, opts)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+// Get returns a pooled connection (round-robin).
+func (p *Pool) Get() *Client {
+	p.mu.Lock()
+	c := p.clients[p.next%uint64(len(p.clients))]
+	p.next++
+	p.mu.Unlock()
+	return c
+}
+
+// Size returns the number of pooled connections.
+func (p *Pool) Size() int { return len(p.clients) }
+
+// Close closes every pooled connection.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

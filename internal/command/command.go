@@ -49,6 +49,8 @@ const (
 	// carries the correlation id — for fetches, the balancing epoch), so
 	// the issuer can abandon the pending slot instead of waiting forever.
 	OpError
+	// OpDelete carries a batch of keys to remove from an index partition.
+	OpDelete
 	numOps
 )
 
@@ -69,6 +71,8 @@ func (o Op) String() string {
 		return "fetch"
 	case OpError:
 		return "error"
+	case OpDelete:
+		return "delete"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -154,7 +158,7 @@ func MaxUpsertKVs(limit int) int {
 
 func (c *Command) payloadSize() int {
 	switch c.Op {
-	case OpLookup:
+	case OpLookup, OpDelete:
 		return 4 + 8*len(c.Keys)
 	case OpUpsert, OpResult:
 		return 4 + 16*len(c.KVs)
@@ -182,7 +186,7 @@ func (c *Command) AppendEncode(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, c.Tag)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.payloadSize()))
 	switch c.Op {
-	case OpLookup:
+	case OpLookup, OpDelete:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Keys)))
 		for _, k := range c.Keys {
 			buf = binary.LittleEndian.AppendUint64(buf, k)

@@ -83,7 +83,7 @@ func decodeInto(c *Command, buf []byte, d *Decoder) (int, error) {
 	}
 	p := buf[headerBytes : headerBytes+plen]
 	switch op {
-	case OpLookup:
+	case OpLookup, OpDelete:
 		n, rest, err := decodeCount(p, 8)
 		if err != nil {
 			return 0, err

@@ -1,0 +1,51 @@
+package command
+
+import (
+	"reflect"
+	"testing"
+
+	"eris/internal/colstore"
+	"eris/internal/prefixtree"
+)
+
+// FuzzCommandDecode feeds arbitrary bytes to the data-command decoder. The
+// decoder fronts the routing layer's raw CAS-guarded buffers, so it must
+// never panic and never trust a length field beyond the buffer. When a
+// buffer does decode, re-encoding the command and decoding it again must
+// reproduce it — the canonical encoding is a fixed point.
+func FuzzCommandDecode(f *testing.F) {
+	seeds := []Command{
+		{Op: OpLookup, Object: 1, Source: 2, ReplyTo: 3, Tag: 4, Keys: []uint64{1, 2, 3}},
+		{Op: OpDelete, Object: 1, Source: 2, ReplyTo: -2, Tag: 5, Keys: []uint64{9}},
+		{Op: OpUpsert, Object: 1, Source: 0, ReplyTo: NoReply, Tag: 0, KVs: []prefixtree.KV{{Key: 1, Value: 10}}},
+		{Op: OpResult, Object: 1, Source: 7, ReplyTo: NoReply, Tag: 6, KVs: []prefixtree.KV{{Key: 2, Value: 20}, {Key: 3, Value: 30}}},
+		{Op: OpScan, Object: 2, Source: 1, ReplyTo: -2, Tag: 7, Pred: colstore.Predicate{Op: colstore.Between, Operand: 10, High: 20}, Keys: []uint64{5, 500}, Limit: 16},
+		{Op: OpBalance, Object: 1, Source: 0, ReplyTo: NoReply, Tag: 8, Balance: &Balance{Epoch: 3, NewLo: 0, NewHi: 999, Fetches: []Fetch{{From: 2, Lo: 500, Hi: 999, Tuples: 0}}}},
+		{Op: OpFetch, Object: 1, Source: 2, ReplyTo: 0, Tag: 3, Fetch: &Fetch{From: 1, Lo: 0, Hi: 499, Tuples: 128}},
+		{Op: OpError, Object: 1, Source: 2, ReplyTo: 0, Tag: 9},
+	}
+	for i := range seeds {
+		f.Add(seeds[i].AppendEncode(nil))
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		enc := c.AppendEncode(nil)
+		again, n2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded command failed to decode: %v\ncmd: %+v", err, c)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("canonical encoding has %d bytes, decode consumed %d", len(enc), n2)
+		}
+		if !reflect.DeepEqual(c, again) {
+			t.Fatalf("round trip mismatch:\n first  %+v\n second %+v", c, again)
+		}
+	})
+}

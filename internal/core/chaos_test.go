@@ -54,6 +54,12 @@ func newChaosEngine(t *testing.T) *Engine {
 func TestChaosRangeBalancing(t *testing.T) {
 	for _, kind := range faults.Kinds() {
 		kind := kind
+		if kind == faults.DropConn || kind == faults.SlowWrite {
+			// Wire-server faults; nothing in an engine-only run ever asks
+			// the injector about them, so the recovery wait cannot end.
+			// internal/server exercises both.
+			continue
+		}
 		t.Run(kind.String(), func(t *testing.T) {
 			e := newChaosEngine(t)
 			const domain = 4000

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -12,44 +13,72 @@ import (
 	"eris/internal/routing"
 )
 
+// ErrClosed is returned by synchronous client calls once Stop has begun:
+// in-flight calls fail immediately instead of waiting for replies that die
+// with the AEU loops, and new calls are refused.
+var ErrClosed = errors.New("core: engine closed")
+
 // pendingOp tracks one synchronous client request across the AEUs serving
-// its pieces.
+// its pieces. Accounting is per request key (per scan command for scans),
+// not per reply: a command that splits into an applied part and a forwarded
+// or deferred part produces several replies whose answered counts must sum
+// to want before the operation is complete.
 type pendingOp struct {
-	want int
-	got  int
-	kvs  []prefixtree.KV
-	done chan struct{}
+	want    int
+	got     int
+	replies [][]prefixtree.KV
+	err     error
+	done    chan struct{}
 }
 
-// deliverClientResult is installed as every AEU's client callback.
-func (e *Engine) deliverClientResult(tag uint64, from uint32, kvs []prefixtree.KV) {
+// deliverClientResult is installed as every AEU's client callback. kvs may
+// alias AEU scratch, so each reply is copied before it is retained.
+func (e *Engine) deliverClientResult(tag uint64, from uint32, kvs []prefixtree.KV, answered int) {
 	e.clientMu.Lock()
 	defer e.clientMu.Unlock()
 	p := e.pending[tag]
 	if p == nil {
-		return // late result after timeout
+		return // late result after timeout or shutdown
 	}
-	p.kvs = append(p.kvs, kvs...)
-	p.got++
+	if len(kvs) > 0 {
+		p.replies = append(p.replies, append([]prefixtree.KV(nil), kvs...))
+	}
+	p.got += answered
 	if p.got >= p.want {
 		delete(e.pending, tag)
 		close(p.done)
 	}
 }
 
-func (e *Engine) newPending(want int) (uint64, *pendingOp) {
+func (e *Engine) newPending(want int) (uint64, *pendingOp, error) {
 	e.clientMu.Lock()
 	defer e.clientMu.Unlock()
+	if e.clientClosed {
+		return 0, nil, ErrClosed
+	}
 	e.nextTag++
 	p := &pendingOp{want: want, done: make(chan struct{})}
 	e.pending[e.nextTag] = p
-	return e.nextTag, p
+	return e.nextTag, p, nil
 }
 
 func (e *Engine) cancelPending(tag uint64) {
 	e.clientMu.Lock()
 	defer e.clientMu.Unlock()
 	delete(e.pending, tag)
+}
+
+// failPending fails every in-flight synchronous call with ErrClosed and
+// refuses new ones; Stop calls it before taking the AEU loops down.
+func (e *Engine) failPending() {
+	e.clientMu.Lock()
+	defer e.clientMu.Unlock()
+	e.clientClosed = true
+	for tag, p := range e.pending {
+		p.err = ErrClosed
+		close(p.done)
+		delete(e.pending, tag)
+	}
 }
 
 // clientTimeout bounds synchronous client calls; the engine is in-process,
@@ -78,7 +107,10 @@ func (e *Engine) Lookup(id routing.ObjectID, keys []uint64) ([]prefixtree.KV, er
 	if len(byOwner) == 0 {
 		return nil, nil
 	}
-	tag, p := e.newPending(len(byOwner))
+	tag, p, err := e.newPending(len(keys))
+	if err != nil {
+		return nil, err
+	}
 	for owner, ks := range byOwner {
 		e.router.Inject(owner, &command.Command{
 			Op: command.OpLookup, Object: uint32(id), Source: owner,
@@ -88,8 +120,9 @@ func (e *Engine) Lookup(id routing.ObjectID, keys []uint64) ([]prefixtree.KV, er
 	if err := e.await(p, tag); err != nil {
 		return nil, err
 	}
-	sort.Slice(p.kvs, func(i, j int) bool { return p.kvs[i].Key < p.kvs[j].Key })
-	return p.kvs, nil
+	out := flatten(p.replies)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
 }
 
 // Upsert synchronously inserts or overwrites pairs in an index object.
@@ -112,11 +145,48 @@ func (e *Engine) Upsert(id routing.ObjectID, kvs []prefixtree.KV) error {
 	if len(byOwner) == 0 {
 		return nil
 	}
-	tag, p := e.newPending(len(byOwner))
+	tag, p, err := e.newPending(len(kvs))
+	if err != nil {
+		return err
+	}
 	for owner, part := range byOwner {
 		e.router.Inject(owner, &command.Command{
 			Op: command.OpUpsert, Object: uint32(id), Source: owner,
 			ReplyTo: aeu.ClientReply, Tag: tag, KVs: part,
+		})
+	}
+	return e.await(p, tag)
+}
+
+// Delete synchronously removes keys from an index object; keys that are
+// not present are ignored.
+func (e *Engine) Delete(id routing.ObjectID, keys []uint64) error {
+	if !e.started {
+		return fmt.Errorf("core: Delete before Start")
+	}
+	meta := e.objects[id]
+	if meta == nil || meta.kind != routing.RangePartitioned {
+		return fmt.Errorf("core: object %d is not an index", id)
+	}
+	byOwner := make(map[uint32][]uint64)
+	for _, k := range keys {
+		if k >= meta.domain {
+			return fmt.Errorf("core: key %d outside domain %d", k, meta.domain)
+		}
+		o := e.router.Owner(id, k)
+		byOwner[o] = append(byOwner[o], k)
+	}
+	if len(byOwner) == 0 {
+		return nil
+	}
+	tag, p, err := e.newPending(len(keys))
+	if err != nil {
+		return err
+	}
+	for owner, ks := range byOwner {
+		e.router.Inject(owner, &command.Command{
+			Op: command.OpDelete, Object: uint32(id), Source: owner,
+			ReplyTo: aeu.ClientReply, Tag: tag, Keys: ks,
 		})
 	}
 	return e.await(p, tag)
@@ -129,8 +199,9 @@ type ScanAggregate struct {
 	Sum     uint64
 }
 
-// Scan synchronously runs a filtered scan over a column object, aggregating
-// across all partitions.
+// Scan synchronously runs a filtered scan over an object, aggregating
+// across all partitions. Index objects delegate to ScanRange over the full
+// domain, so they share its exactness guarantee under active balancing.
 func (e *Engine) Scan(id routing.ObjectID, pred colstore.Predicate) (ScanAggregate, error) {
 	var agg ScanAggregate
 	if !e.started {
@@ -140,39 +211,49 @@ func (e *Engine) Scan(id routing.ObjectID, pred colstore.Predicate) (ScanAggrega
 	if meta == nil {
 		return agg, fmt.Errorf("core: unknown object %d", id)
 	}
-	var targets []uint32
-	var bounds []uint64
-	if meta.kind == routing.SizePartitioned {
-		targets = e.router.Holders(id, nil)
-	} else {
-		// Index range scan over the full domain.
-		for _, en := range e.router.OwnerEntries(id) {
-			targets = append(targets, en.Owner)
-		}
-		bounds = []uint64{0, meta.domain - 1}
+	if meta.kind == routing.RangePartitioned {
+		return e.ScanRange(id, 0, meta.domain-1, pred)
 	}
+	targets := e.router.Holders(id, nil)
 	if len(targets) == 0 {
 		return agg, nil
 	}
-	tag, p := e.newPending(len(targets))
+	tag, p, err := e.newPending(len(targets))
+	if err != nil {
+		return agg, err
+	}
 	for _, owner := range targets {
 		e.router.Inject(owner, &command.Command{
 			Op: command.OpScan, Object: uint32(id), Source: owner,
-			ReplyTo: aeu.ClientReply, Tag: tag, Pred: pred, Keys: bounds,
+			ReplyTo: aeu.ClientReply, Tag: tag, Pred: pred,
 		})
 	}
 	if err := e.await(p, tag); err != nil {
 		return agg, err
 	}
-	for _, kv := range p.kvs {
-		agg.Matched += kv.Key
-		agg.Sum += kv.Value
+	for _, kvs := range p.replies {
+		if len(kvs) > 0 {
+			agg.Matched += kvs[0].Key
+			agg.Sum += kvs[0].Value
+		}
 	}
 	return agg, nil
 }
 
+// Scan cover retries: how often a range scan whose replies left a gap in
+// (or overlapped) the requested range is re-issued before giving up, and
+// the pause between attempts. Gaps are transient — they close as soon as
+// the in-flight balancing step lands — so the backoff is short.
+const (
+	scanCoverRetries = 64
+	scanCoverBackoff = 200 * time.Microsecond
+)
+
 // ScanRange synchronously scans an index object over [lo, hi] (inclusive),
-// aggregating values matching pred.
+// aggregating values matching pred. The result is exact even while the
+// load balancer is moving partition bounds: every reply reports the key
+// interval it actually inspected, and the scan is re-issued until the
+// intervals tile the requested range exactly (no gap, no double count).
 func (e *Engine) ScanRange(id routing.ObjectID, lo, hi uint64, pred colstore.Predicate) (ScanAggregate, error) {
 	var agg ScanAggregate
 	if !e.started {
@@ -182,16 +263,36 @@ func (e *Engine) ScanRange(id routing.ObjectID, lo, hi uint64, pred colstore.Pre
 	if meta == nil || meta.kind != routing.RangePartitioned {
 		return agg, fmt.Errorf("core: object %d is not an index", id)
 	}
-	entries := e.router.OwnerEntries(id)
-	var targets []uint32
-	seen := map[uint32]bool{}
-	for _, en := range entries {
-		if !seen[en.Owner] {
-			targets = append(targets, en.Owner)
-			seen[en.Owner] = true
-		}
+	if hi > meta.domain-1 {
+		hi = meta.domain - 1
 	}
-	tag, p := e.newPending(len(targets))
+	if lo > hi {
+		return agg, nil
+	}
+	for attempt := 0; ; attempt++ {
+		agg, covered, err := e.scanRangeOnce(id, lo, hi, pred)
+		if err != nil || covered {
+			return agg, err
+		}
+		if attempt >= scanCoverRetries {
+			return agg, fmt.Errorf("core: range scan over [%d, %d] found no consistent cover in %d attempts", lo, hi, attempt+1)
+		}
+		time.Sleep(scanCoverBackoff)
+	}
+}
+
+// scanRangeOnce issues one multicast range scan and reports whether the
+// reply coverage tiled [lo, hi] exactly; only then is agg trustworthy.
+func (e *Engine) scanRangeOnce(id routing.ObjectID, lo, hi uint64, pred colstore.Predicate) (ScanAggregate, bool, error) {
+	var agg ScanAggregate
+	targets := e.rangeTargets(id)
+	if len(targets) == 0 {
+		return agg, false, nil
+	}
+	tag, p, err := e.newPending(len(targets))
+	if err != nil {
+		return agg, false, err
+	}
 	for _, owner := range targets {
 		e.router.Inject(owner, &command.Command{
 			Op: command.OpScan, Object: uint32(id), Source: owner,
@@ -199,18 +300,56 @@ func (e *Engine) ScanRange(id routing.ObjectID, lo, hi uint64, pred colstore.Pre
 		})
 	}
 	if err := e.await(p, tag); err != nil {
-		return agg, err
+		return agg, false, err
 	}
-	for _, kv := range p.kvs {
-		agg.Matched += kv.Key
-		agg.Sum += kv.Value
+	var cover []prefixtree.KV // Key=lo, Value=hi of one inspected interval
+	for _, kvs := range p.replies {
+		if len(kvs) == 0 {
+			continue
+		}
+		agg.Matched += kvs[0].Key
+		agg.Sum += kvs[0].Value
+		cover = append(cover, kvs[1:]...)
 	}
-	return agg, nil
+	return agg, coversExactly(cover, lo, hi), nil
+}
+
+// coversExactly reports whether the intervals tile [lo, hi] with no gap
+// and no overlap.
+func coversExactly(ivs []prefixtree.KV, lo, hi uint64) bool {
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Key < ivs[j].Key })
+	cur := lo
+	for i, iv := range ivs {
+		if iv.Key != cur || iv.Value > hi || iv.Value < iv.Key {
+			return false
+		}
+		if iv.Value == hi {
+			return i == len(ivs)-1
+		}
+		cur = iv.Value + 1
+	}
+	return false
+}
+
+// rangeTargets returns the deduplicated owner set of a range object.
+func (e *Engine) rangeTargets(id routing.ObjectID) []uint32 {
+	entries := e.router.OwnerEntries(id)
+	targets := make([]uint32, 0, len(entries))
+	seen := map[uint32]bool{}
+	for _, en := range entries {
+		if !seen[en.Owner] {
+			targets = append(targets, en.Owner)
+			seen[en.Owner] = true
+		}
+	}
+	return targets
 }
 
 // ScanRangeRows materializes up to limit matching rows of an index range
 // scan over [lo, hi] (inclusive), sorted by key — the query-processing
-// primitive for intermediate results.
+// primitive for intermediate results. Unlike the aggregate ScanRange, rows
+// mode is best effort while a balancing step is in flight: rows of a range
+// whose transfer has not landed yet may be missing from the result.
 func (e *Engine) ScanRangeRows(id routing.ObjectID, lo, hi uint64, pred colstore.Predicate, limit int) ([]prefixtree.KV, error) {
 	if !e.started {
 		return nil, fmt.Errorf("core: ScanRangeRows before Start")
@@ -222,16 +361,14 @@ func (e *Engine) ScanRangeRows(id routing.ObjectID, lo, hi uint64, pred colstore
 	if meta == nil || meta.kind != routing.RangePartitioned {
 		return nil, fmt.Errorf("core: object %d is not an index", id)
 	}
-	entries := e.router.OwnerEntries(id)
-	targets := make([]uint32, 0, len(entries))
-	seen := map[uint32]bool{}
-	for _, en := range entries {
-		if !seen[en.Owner] {
-			targets = append(targets, en.Owner)
-			seen[en.Owner] = true
-		}
+	targets := e.rangeTargets(id)
+	if len(targets) == 0 {
+		return nil, nil
 	}
-	tag, p := e.newPending(len(targets))
+	tag, p, err := e.newPending(len(targets))
+	if err != nil {
+		return nil, err
+	}
 	for _, owner := range targets {
 		e.router.Inject(owner, &command.Command{
 			Op: command.OpScan, Object: uint32(id), Source: owner,
@@ -242,17 +379,30 @@ func (e *Engine) ScanRangeRows(id routing.ObjectID, lo, hi uint64, pred colstore
 	if err := e.await(p, tag); err != nil {
 		return nil, err
 	}
-	sort.Slice(p.kvs, func(i, j int) bool { return p.kvs[i].Key < p.kvs[j].Key })
-	if len(p.kvs) > limit {
-		p.kvs = p.kvs[:limit]
+	rows := flatten(p.replies)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	if len(rows) > limit {
+		rows = rows[:limit]
 	}
-	return p.kvs, nil
+	return rows, nil
+}
+
+func flatten(replies [][]prefixtree.KV) []prefixtree.KV {
+	var n int
+	for _, r := range replies {
+		n += len(r)
+	}
+	out := make([]prefixtree.KV, 0, n)
+	for _, r := range replies {
+		out = append(out, r...)
+	}
+	return out
 }
 
 func (e *Engine) await(p *pendingOp, tag uint64) error {
 	select {
 	case <-p.done:
-		return nil
+		return p.err
 	case <-time.After(clientTimeout):
 		e.cancelPending(tag)
 		return fmt.Errorf("core: client request %d timed out", tag)

@@ -83,12 +83,14 @@ type Engine struct {
 	metricsRv *metrics.Server
 
 	started bool
+	stopMu  sync.Mutex
 	stopped bool
 	wg      sync.WaitGroup
 
-	clientMu sync.Mutex
-	nextTag  uint64
-	pending  map[uint64]*pendingOp
+	clientMu     sync.Mutex
+	nextTag      uint64
+	pending      map[uint64]*pendingOp
+	clientClosed bool
 
 	timeline *aeu.Timeline
 }
@@ -361,12 +363,20 @@ func (e *Engine) WaitVirtual(sec float64, realTimeout time.Duration) error {
 	return nil
 }
 
-// Stop terminates all workers and the balancer; idempotent.
+// Stop terminates all workers and the balancer. It is idempotent and safe
+// to call from several goroutines at once; every caller returns only after
+// the engine is down.
 func (e *Engine) Stop() {
+	e.stopMu.Lock()
+	defer e.stopMu.Unlock()
 	if !e.started || e.stopped {
 		return
 	}
 	e.stopped = true
+	// Fail in-flight synchronous client calls first: their replies die with
+	// the AEU loops below, so waiting longer only turns a clean ErrClosed
+	// into a 30-second timeout (and a leaked pending entry).
+	e.failPending()
 	// Stop the balancer before the workers so no new balancing cycle
 	// starts mid-shutdown.
 	if e.watched {

@@ -45,6 +45,13 @@ const (
 	// StallTransfer parks a partition-transfer payload for one mailbox
 	// round, keeping its balancing epoch open across loop iterations.
 	StallTransfer
+	// DropConn closes a wire-server connection in place of writing a
+	// response; clients must see a connection error, never a corrupt or
+	// half-written frame, and the engine must be unaffected.
+	DropConn
+	// SlowWrite delays one wire-server response write, backing the
+	// connection's response stream up against its in-flight limit.
+	SlowWrite
 	numKinds
 )
 
@@ -61,6 +68,10 @@ func (k Kind) String() string {
 		return "delay_epoch_done"
 	case StallTransfer:
 		return "stall_transfer"
+	case DropConn:
+		return "drop_conn"
+	case SlowWrite:
+		return "slow_write"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

@@ -170,6 +170,66 @@ func (t *Tree) UpsertBatch(core topology.CoreID, kvs []KV) int64 {
 	return fresh
 }
 
+// Delete removes key and reports whether it was present. Nodes emptied by
+// deletion stay linked (like the losers of Upsert's install races); only
+// their presence bits and counters change, so concurrent readers never see
+// a dangling reference.
+func (t *Tree) Delete(core topology.CoreID, key uint64, overlap int) bool {
+	s := t.src.Store()
+	s.checkKey(key)
+	m := s.machine
+
+	var path [32]uint32 // inner refs along the descent, for count updates
+	depth := 0
+
+	ref := t.root.Load()
+	for level := 0; level < s.levels-1; level++ {
+		if ref == nilRef {
+			return false
+		}
+		path[depth] = ref
+		depth++
+		j := s.nibble(key, level)
+		home, addr := s.innerAddr(ref, j)
+		m.Read(core, home, addr, 4, overlap)
+		m.AdvanceNS(core, computeNSPerLevel)
+		ref = s.innerSlot(ref, j).Load()
+	}
+	if ref == nilRef {
+		return false
+	}
+	j := s.nibble(key, s.levels-1)
+	home, addr := s.leafAddr(ref, j)
+	m.Read(core, home, addr, 8, overlap)
+	m.AdvanceNS(core, computeNSPerLevel)
+	sl, off := s.leafAt(ref)
+	w, bit := off*s.bitmapWords+j/64, uint64(1)<<uint(j%64)
+	old := sl.bitmap[w].And(^bit)
+	if old&bit == 0 {
+		return false // was not present
+	}
+	m.Write(core, home, addr, 8, overlap)
+	sl.counts[off].Add(-1)
+	for i := 0; i < depth; i++ {
+		s.innerCount(path[i]).Add(-1)
+	}
+	t.count.Add(-1)
+	return true
+}
+
+// DeleteBatch deletes a batch of keys with overlapped latencies and reports
+// how many were present.
+func (t *Tree) DeleteBatch(core topology.CoreID, keys []uint64) int64 {
+	overlap := len(keys)
+	var removed int64
+	for _, k := range keys {
+		if t.Delete(core, k, overlap) {
+			removed++
+		}
+	}
+	return removed
+}
+
 // rootOrCreate returns the root node, installing one on first use.
 func (t *Tree) rootOrCreate(core topology.CoreID) uint32 {
 	ref := t.root.Load()

@@ -161,6 +161,18 @@ const sortedRouteMinKeys = 16
 // merge; the virtual cost charged is RouteNSPerKey per key either way, so
 // simulated results do not depend on the resolution strategy.
 func (o *Outbox) RouteLookup(obj ObjectID, keys []uint64, replyTo int32, tag uint64) int {
+	return o.routeKeyBatch(command.OpLookup, obj, keys, replyTo, tag)
+}
+
+// RouteDelete splits a key batch by owner and routes per-owner delete
+// commands, chunked like RouteLookup.
+func (o *Outbox) RouteDelete(obj ObjectID, keys []uint64, replyTo int32, tag uint64) int {
+	return o.routeKeyBatch(command.OpDelete, obj, keys, replyTo, tag)
+}
+
+// routeKeyBatch is the shared owner-split/chunk body of the key-batch
+// routed operations (lookup, delete).
+func (o *Outbox) routeKeyBatch(op command.Op, obj ObjectID, keys []uint64, replyTo int32, tag uint64) int {
 	table := o.r.object(obj).ranged
 	m := o.r.machine
 	m.AdvanceNS(o.core(), o.r.cfg.RouteNSPerKey*float64(len(keys)))
@@ -191,7 +203,7 @@ func (o *Outbox) RouteLookup(obj ObjectID, keys []uint64, replyTo int32, tag uin
 		for len(batch) > 0 {
 			n := min(len(batch), o.maxLookupKeys)
 			cmd := command.Command{
-				Op: command.OpLookup, Object: uint32(obj), Source: o.self,
+				Op: op, Object: uint32(obj), Source: o.self,
 				ReplyTo: replyTo, Tag: tag, Keys: batch[:n],
 			}
 			o.appendCmd(to, &cmd)

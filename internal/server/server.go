@@ -1,0 +1,414 @@
+// Package server is the eriswire TCP serving layer: it exposes a running
+// engine (internal/core) over the length-prefixed binary protocol of
+// internal/wire. Each connection gets a reader and a writer goroutine;
+// requests decoded by the reader are dispatched to handler goroutines that
+// call the engine's synchronous batch API directly — the decoded key and
+// KV batches are handed to the engine as-is, never re-sliced — and each
+// completed handler queues its tagged response to the writer, so responses
+// leave in completion order, not arrival order. A per-connection in-flight
+// semaphore bounds concurrent handlers: when a client pipelines more than
+// MaxInFlight requests, the reader simply stops reading and TCP backpressure
+// does the rest.
+//
+// Shutdown is a graceful drain: stop accepting, stop reading, finish every
+// in-flight request, flush every queued response, then close. A write the
+// server has acknowledged is therefore durable in the engine — clients may
+// lose unanswered requests on shutdown, never acked ones.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"eris/internal/core"
+	"eris/internal/faults"
+	"eris/internal/metrics"
+	"eris/internal/routing"
+	"eris/internal/wire"
+)
+
+// Options tunes the serving layer.
+type Options struct {
+	// MaxInFlight bounds concurrently executing requests per connection
+	// (default 64). Beyond it the connection's reader stalls, pushing back
+	// on the client through TCP flow control.
+	MaxInFlight int
+	// HandshakeTimeout bounds how long a fresh connection may take to send
+	// its Hello (default 5s).
+	HandshakeTimeout time.Duration
+	// Faults, when non-nil, threads the engine's deterministic fault
+	// injector through the serving path (DropConn, SlowWrite).
+	Faults *faults.Injector
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = 64
+	}
+	if o.HandshakeTimeout == 0 {
+		o.HandshakeTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Server serves one engine over TCP.
+type Server struct {
+	eng     *core.Engine
+	objects []wire.ObjectInfo
+	opts    Options
+	faults  *faults.Injector
+
+	ln       net.Listener
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	draining bool
+
+	accepted   *metrics.Counter
+	active     *metrics.Gauge
+	requests   *metrics.Counter
+	responses  *metrics.Counter
+	errors     *metrics.Counter // requests answered with TError
+	badFrames  *metrics.Counter // connections dropped on protocol errors
+	dropsInj   *metrics.Counter // connections killed by the DropConn fault
+	slowWrites *metrics.Counter // writes delayed by the SlowWrite fault
+}
+
+// slowWriteDelay is the stall injected per SlowWrite fault hit: long
+// enough to back a pipelined connection up against its in-flight limit,
+// short enough to keep chaos tests fast.
+const slowWriteDelay = 2 * time.Millisecond
+
+// New wraps a started engine. objects is the table announced to clients in
+// the Welcome; the server answers requests for exactly these ids. Counters
+// register on the engine's metrics registry under server.*.
+func New(eng *core.Engine, objects []wire.ObjectInfo, opts Options) *Server {
+	reg := eng.Metrics()
+	return &Server{
+		eng:        eng,
+		objects:    objects,
+		opts:       opts.withDefaults(),
+		faults:     opts.Faults,
+		conns:      make(map[*conn]struct{}),
+		accepted:   reg.Counter("server.accepted"),
+		active:     reg.Gauge("server.active_conns"),
+		requests:   reg.Counter("server.requests"),
+		responses:  reg.Counter("server.responses"),
+		errors:     reg.Counter("server.errors"),
+		badFrames:  reg.Counter("server.bad_frames"),
+		dropsInj:   reg.Counter("server.dropped_conns"),
+		slowWrites: reg.Counter("server.slow_writes"),
+	}
+}
+
+// Listen binds addr and starts accepting connections.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.acceptWG.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.acceptWG.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return // listener closed (drain) or fatal
+		}
+		c := &conn{
+			s: s, nc: nc,
+			out:     make(chan []byte, s.opts.MaxInFlight),
+			aborted: make(chan struct{}),
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.accepted.Inc()
+		s.active.Add(1)
+		s.connWG.Add(1)
+		go c.serve()
+	}
+}
+
+// Close drains the server: it stops accepting, stops reading on every
+// connection, waits for in-flight requests to complete and their responses
+// to flush, then closes the connections. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.acceptWG.Wait()
+		s.connWG.Wait()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.stopReading()
+	}
+	s.acceptWG.Wait()
+	s.connWG.Wait()
+	return nil
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.active.Add(-1)
+}
+
+// conn is one client connection.
+type conn struct {
+	s  *Server
+	nc net.Conn
+	// out carries encoded response frames from handlers to the writer.
+	// The reader closes it only after every handler finished, so a send
+	// from a handler can never hit a closed channel.
+	out      chan []byte
+	handlers sync.WaitGroup
+	aborted  chan struct{} // closed by abort(); unblocks queued handlers
+	abortOne sync.Once
+}
+
+// stopReading makes the connection's reader return on its next read
+// without touching in-flight work; the drain path calls it.
+func (c *conn) stopReading() {
+	c.nc.SetReadDeadline(time.Now())
+}
+
+// abort kills the connection immediately (protocol violation or DropConn
+// fault): pending writes are abandoned, the peer sees a reset or EOF
+// mid-stream but never a half frame followed by more data.
+func (c *conn) abort() {
+	c.abortOne.Do(func() {
+		close(c.aborted)
+		c.nc.Close()
+	})
+}
+
+func (c *conn) serve() {
+	defer c.s.connWG.Done()
+	defer c.s.removeConn(c)
+
+	writerDone := make(chan struct{})
+	go c.writeLoop(writerDone)
+
+	if err := c.handshake(); err != nil {
+		c.s.badFrames.Inc()
+		c.abort()
+	} else {
+		c.readLoop()
+	}
+	// Reader is done (EOF, error, or drain): let in-flight handlers finish
+	// and the writer flush their responses, then close the socket.
+	c.handlers.Wait()
+	close(c.out)
+	<-writerDone
+	c.nc.Close()
+}
+
+// handshake reads the client's Hello and answers with the object table.
+func (c *conn) handshake() error {
+	c.nc.SetReadDeadline(time.Now().Add(c.s.opts.HandshakeTimeout))
+	var m wire.Msg
+	if _, err := wire.ReadMsg(c.nc, &m, nil); err != nil {
+		return err
+	}
+	c.nc.SetReadDeadline(time.Time{})
+	if m.Type != wire.THello || m.Magic != wire.Magic {
+		return wire.ErrBadMagic
+	}
+	if m.Version != wire.Version {
+		return fmt.Errorf("server: protocol version %d, want %d", m.Version, wire.Version)
+	}
+	welcome := wire.Msg{Type: wire.TWelcome, Version: wire.Version, Objects: c.s.objects}
+	frame, err := wire.AppendFrame(nil, &welcome)
+	if err != nil {
+		return err
+	}
+	c.out <- frame
+	return nil
+}
+
+func (c *conn) readLoop() {
+	// The semaphore is the per-connection in-flight bound: acquired by the
+	// reader before dispatch, released when the handler finished encoding
+	// its response. A full semaphore stops the reader — backpressure.
+	sem := make(chan struct{}, c.s.opts.MaxInFlight)
+	var buf []byte
+	for {
+		var m wire.Msg
+		var err error
+		if buf, err = wire.ReadMsg(c.nc, &m, buf); err != nil {
+			// EOF and the drain deadline are normal ends; a frame the
+			// codec rejected means the peer is corrupt — kill the
+			// connection rather than resynchronize on a byte stream.
+			if isProtocolErr(err) {
+				c.s.badFrames.Inc()
+				c.abort()
+			}
+			return
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-c.aborted:
+			return
+		}
+		c.s.requests.Inc()
+		c.handlers.Add(1)
+		go func(m wire.Msg) {
+			defer c.handlers.Done()
+			defer func() { <-sem }()
+			c.handle(&m)
+		}(m)
+	}
+}
+
+// isProtocolErr reports whether a read failed because the peer sent bytes
+// the codec rejects (as opposed to the connection simply ending).
+func isProtocolErr(err error) bool {
+	return errors.Is(err, wire.ErrTruncated) || errors.Is(err, wire.ErrBadType) ||
+		errors.Is(err, wire.ErrFrameSize) || errors.Is(err, wire.ErrTrailing) ||
+		errors.Is(err, wire.ErrBadPred)
+}
+
+// handle executes one request against the engine and queues the tagged
+// response.
+func (c *conn) handle(m *wire.Msg) {
+	resp := c.execute(m)
+	resp.Tag = m.Tag
+	if c.s.faults.Should(faults.DropConn) {
+		// Kill the connection in place of the response: the client must
+		// observe a connection error, never a half-written frame.
+		c.s.dropsInj.Inc()
+		c.abort()
+		return
+	}
+	frame, err := wire.AppendFrame(nil, &resp)
+	if err != nil {
+		errMsg := wire.Msg{Type: wire.TError, Tag: m.Tag, Err: err.Error()}
+		frame, _ = wire.AppendFrame(nil, &errMsg)
+	}
+	select {
+	case c.out <- frame:
+		c.s.responses.Inc()
+	case <-c.aborted:
+	}
+}
+
+// execute maps one request onto the engine's synchronous client API. The
+// decoded batches are passed through untouched.
+func (c *conn) execute(m *wire.Msg) wire.Msg {
+	switch m.Type {
+	case wire.TLookup:
+		kvs, err := c.s.eng.Lookup(routing.ObjectID(m.Object), m.Keys)
+		if err != nil {
+			return c.errMsg(err)
+		}
+		return wire.Msg{Type: wire.TResult, KVs: kvs}
+	case wire.TUpsert:
+		if err := c.s.eng.Upsert(routing.ObjectID(m.Object), m.KVs); err != nil {
+			return c.errMsg(err)
+		}
+		return wire.Msg{Type: wire.TAck}
+	case wire.TDelete:
+		if err := c.s.eng.Delete(routing.ObjectID(m.Object), m.Keys); err != nil {
+			return c.errMsg(err)
+		}
+		return wire.Msg{Type: wire.TAck}
+	case wire.TScan:
+		if m.Limit > 0 {
+			rows, err := c.s.eng.ScanRangeRows(routing.ObjectID(m.Object), m.Lo, m.Hi, m.Pred, int(m.Limit))
+			if err != nil {
+				return c.errMsg(err)
+			}
+			return wire.Msg{Type: wire.TResult, KVs: rows}
+		}
+		agg, err := c.s.eng.ScanRange(routing.ObjectID(m.Object), m.Lo, m.Hi, m.Pred)
+		if err != nil {
+			return c.errMsg(err)
+		}
+		return wire.Msg{Type: wire.TAgg, Matched: agg.Matched, Sum: agg.Sum}
+	case wire.TColScan:
+		agg, err := c.s.eng.Scan(routing.ObjectID(m.Object), m.Pred)
+		if err != nil {
+			return c.errMsg(err)
+		}
+		return wire.Msg{Type: wire.TAgg, Matched: agg.Matched, Sum: agg.Sum}
+	default:
+		return c.errMsg(fmt.Errorf("server: unexpected %v request", m.Type))
+	}
+}
+
+func (c *conn) errMsg(err error) wire.Msg {
+	c.s.errors.Inc()
+	return wire.Msg{Type: wire.TError, Err: err.Error()}
+}
+
+// writeLoop owns the socket's write side: it serializes queued response
+// frames, flushing whenever the queue runs empty, and exits when out is
+// closed and drained.
+func (c *conn) writeLoop(done chan<- struct{}) {
+	defer close(done)
+	bw := bufio.NewWriter(c.nc)
+	for frame := range c.out {
+		if c.s.faults.Should(faults.SlowWrite) {
+			c.s.slowWrites.Inc()
+			time.Sleep(slowWriteDelay)
+		}
+		_, err := bw.Write(frame)
+		if err == nil && len(c.out) == 0 {
+			err = bw.Flush()
+		}
+		if err != nil {
+			// Peer is gone; keep draining out so handlers never block on a
+			// dead connection.
+			for range c.out {
+			}
+			return
+		}
+	}
+	bw.Flush()
+}

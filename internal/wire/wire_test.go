@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"eris/internal/colstore"
+	"eris/internal/prefixtree"
+)
+
+// sampleMsgs covers every message type with a representative payload; the
+// round-trip test and the fuzz seed corpus both draw from it.
+func sampleMsgs() []Msg {
+	return []Msg{
+		{Type: THello, Magic: Magic, Version: Version},
+		{Type: TWelcome, Version: Version, Objects: []ObjectInfo{
+			{ID: 1, Kind: KindIndex, Domain: 1 << 20, Name: "orders"},
+			{ID: 2, Kind: KindColumn, Name: "prices"},
+		}},
+		{Type: TLookup, Tag: 7, Object: 1, Keys: []uint64{3, 1, 4, 1, 5}},
+		{Type: TUpsert, Tag: 8, Object: 1, KVs: []prefixtree.KV{{Key: 2, Value: 20}, {Key: 4, Value: 40}}},
+		{Type: TDelete, Tag: 9, Object: 1, Keys: []uint64{2}},
+		{Type: TScan, Tag: 10, Object: 1, Pred: colstore.Predicate{Op: colstore.Between, Operand: 5, High: 50}, Lo: 100, Hi: 999, Limit: 0},
+		{Type: TScan, Tag: 11, Object: 1, Pred: colstore.Predicate{Op: colstore.All}, Lo: 0, Hi: 1<<20 - 1, Limit: 128},
+		{Type: TColScan, Tag: 12, Object: 2, Pred: colstore.Predicate{Op: colstore.Greater, Operand: 17}},
+		{Type: TResult, Tag: 7, KVs: []prefixtree.KV{{Key: 3, Value: 30}}},
+		{Type: TAck, Tag: 8},
+		{Type: TAgg, Tag: 10, Matched: 42, Sum: 4242},
+		{Type: TError, Tag: 13, Err: "core: object 9 is not an index"},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		frame, err := AppendFrame(nil, &m)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", m.Type, err)
+		}
+		plen := int(binary.LittleEndian.Uint32(frame))
+		if plen != len(frame)-4 {
+			t.Fatalf("%v: frame length %d, payload %d", m.Type, plen, len(frame)-4)
+		}
+		var got Msg
+		if err := DecodeMsg(&got, frame[4:]); err != nil {
+			t.Fatalf("%v: decode: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%v: round trip mismatch:\n sent %+v\n got  %+v", m.Type, m, got)
+		}
+	}
+}
+
+func TestReadMsgStream(t *testing.T) {
+	var stream []byte
+	msgs := sampleMsgs()
+	for i := range msgs {
+		var err error
+		stream, err = AppendFrame(stream, &msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(stream)
+	var buf []byte
+	for i := range msgs {
+		var got Msg
+		var err error
+		buf, err = ReadMsg(r, &got, buf)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(msgs[i], got) {
+			t.Fatalf("msg %d mismatch: %+v != %+v", i, got, msgs[i])
+		}
+	}
+	if _, err := ReadMsg(r, new(Msg), buf); err == nil {
+		t.Fatal("expected EOF at stream end")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	lookup, err := AppendFrame(nil, &Msg{Type: TLookup, Tag: 1, Object: 1, Keys: []uint64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := lookup[4:]
+
+	cases := []struct {
+		name string
+		p    []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"header only", payload[:headerBytes], ErrTruncated},
+		{"bad type zero", append([]byte{0}, payload[1:]...), ErrBadType},
+		{"bad type high", append([]byte{200}, payload[1:]...), ErrBadType},
+		{"truncated batch", payload[:len(payload)-3], ErrTruncated},
+		{"trailing bytes", append(append([]byte(nil), payload...), 0xff), ErrTruncated},
+		{"ack with body", []byte{byte(TAck), 0, 0, 0, 0, 0, 0, 0, 0, 1}, ErrTrailing},
+		{"bad predicate", func() []byte {
+			f, _ := AppendFrame(nil, &Msg{Type: TScan, Object: 1})
+			p := append([]byte(nil), f[4:]...)
+			p[headerBytes+4] = 99
+			return p
+		}(), ErrBadPred},
+	}
+	for _, tc := range cases {
+		var m Msg
+		if err := DecodeMsg(&m, tc.p); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeRejectsLyingCounts(t *testing.T) {
+	// A count field claiming more entries than the payload carries must be
+	// rejected, not trusted into a huge allocation.
+	var p []byte
+	p = append(p, byte(TLookup))
+	p = binary.LittleEndian.AppendUint64(p, 1)          // tag
+	p = binary.LittleEndian.AppendUint32(p, 1)          // object
+	p = binary.LittleEndian.AppendUint32(p, 0xffffffff) // count
+	var m Msg
+	if err := DecodeMsg(&m, p); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:]), nil); !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("oversized frame: err = %v, want ErrFrameSize", err)
+	}
+	binary.LittleEndian.PutUint32(hdr[:], 3) // below the message header
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:]), nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("undersized frame: err = %v, want ErrTruncated", err)
+	}
+}
