@@ -148,6 +148,8 @@ func BenchmarkAblationCoalescing(b *testing.B) {
 	tables := runExperiment(b, "ablation-coalesce")
 	t := tables[0]
 	b.ReportMetric(cell(b, t, 0, 1)/cell(b, t, 1, 1), "grouping-on-vs-off")
+	s := tables[1]
+	b.ReportMetric(cell(b, s, 0, 1)/cell(b, s, 1, 1), "scan-coalescing-on-vs-off")
 }
 
 func BenchmarkAblationTransfer(b *testing.B) {

@@ -12,10 +12,16 @@
 //	erisload [-machine intel] [-workers N] [-keys 1048576] [-dur 0.002]
 //	         [-mix lookup|upsert|scan] [-balancer oneshot|maN] [-hot 0.25]
 //	erisload -remote 127.0.0.1:7807 [-conns 4] [-workers 16] [-dur 1]
-//	         [-mix lookup|upsert|scan] [-hot 0.25]
+//	         [-mix lookup|upsert|scan] [-hot 0.25] [-overload] [-timeout 5ms]
+//
+// The -overload scenario stamps every request with a short deadline and
+// disables retries so admission-control rejections surface; the report
+// then shows goodput versus shed rate instead of failing on the first
+// wire.ErrOverloaded.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -46,10 +52,12 @@ func main() {
 	metricsAddr := flag.String("metricsaddr", "", "serve live engine metrics as JSON on this address (e.g. 127.0.0.1:0)")
 	remote := flag.String("remote", "", "drive a running erisserve at this address instead of an in-process engine")
 	conns := flag.Int("conns", 4, "pooled connections with -remote")
+	overload := flag.Bool("overload", false, "with -remote: overload scenario — per-request deadlines, no retries, shed requests tolerated; reports goodput vs shed rate")
+	timeout := flag.Duration("timeout", 0, "with -remote: per-request client timeout (0 = none; 5ms under -overload)")
 	flag.Parse()
 
 	if *remote != "" {
-		runRemote(*remote, *conns, *workers, *dur, *mix, *hot)
+		runRemote(*remote, *conns, *workers, *dur, *mix, *hot, *overload, *timeout)
 		return
 	}
 
@@ -137,12 +145,24 @@ func main() {
 // The key domain comes from the server's handshake object table, so the
 // client needs no -keys flag; lookup/upsert target the first index object,
 // scan targets the first column (or falls back to index range scans).
-func runRemote(addr string, conns, workers int, durSec float64, mix string, hot float64) {
+//
+// With overload set, every request carries a short deadline and retries
+// are disabled, so server rejections (wire.ErrOverloaded) and expiries
+// surface directly; they are counted as shed work instead of aborting the
+// run, and the report shows goodput versus shed rate.
+func runRemote(addr string, conns, workers int, durSec float64, mix string, hot float64, overload bool, timeout time.Duration) {
 	if workers <= 0 {
 		workers = 2 * conns
 	}
 	reg := metrics.NewRegistry()
-	pool, err := client.NewPool(addr, conns, client.Options{Metrics: reg})
+	opts := client.Options{Metrics: reg, DefaultTimeout: timeout}
+	if overload {
+		if opts.DefaultTimeout == 0 {
+			opts.DefaultTimeout = 5 * time.Millisecond
+		}
+		opts.OverloadRetries = -1 // count every rejection instead of hiding it behind retries
+	}
+	pool, err := client.NewPool(addr, conns, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -179,7 +199,7 @@ func runRemote(addr string, conns, workers int, durSec float64, mix string, hot 
 	}
 
 	const batch = 64
-	var ops, tuples atomic.Uint64
+	var ops, tuples, shed atomic.Uint64
 	deadline := time.Now().Add(time.Duration(durSec * float64(time.Second)))
 	var wg sync.WaitGroup
 	errc := make(chan error, workers)
@@ -220,6 +240,10 @@ func runRemote(addr string, conns, workers int, durSec float64, mix string, hot 
 					log.Fatalf("unknown mix %q", mix)
 				}
 				if err != nil {
+					if overload && (errors.Is(err, wire.ErrOverloaded) || errors.Is(err, wire.ErrDeadlineExceeded)) {
+						shed.Add(1)
+						continue
+					}
 					errc <- err
 					return
 				}
@@ -243,4 +267,19 @@ func runRemote(addr string, conns, workers int, durSec float64, mix string, hot 
 	fmt.Printf("client: %d requests, %d errors, %d connection errors\n",
 		snap.Counter("client.requests"), snap.Counter("client.errors"),
 		snap.Counter("client.conn_errors"))
+	if overload {
+		good, rejected := n, shed.Load()
+		total := good + rejected
+		pct := func(x uint64) float64 {
+			if total == 0 {
+				return 0
+			}
+			return 100 * float64(x) / float64(total)
+		}
+		fmt.Printf("overload: %d/%d batches served (%.1f%% goodput), %d shed or expired (%.1f%%), timeout %s\n",
+			good, total, pct(good), rejected, pct(rejected), opts.DefaultTimeout)
+		fmt.Printf("overload client counters: %d overloaded replies, %d timeouts, %d retries\n",
+			snap.Counter("client.overloaded"), snap.Counter("client.timeouts"),
+			snap.Counter("client.retries"))
+	}
 }

@@ -9,6 +9,7 @@
 //	erisserve [-addr 127.0.0.1:0] [-machine intel] [-workers N]
 //	          [-keys 1048576] [-preload -1] [-coltuples 0]
 //	          [-balancer oneshot|maN] [-maxinflight 64]
+//	          [-inflight 1024] [-deadline 0]
 package main
 
 import (
@@ -31,6 +32,8 @@ func main() {
 	colTuples := flag.Int64("coltuples", 0, "tuples per worker of the \"values\" column (0 = no column)")
 	balancer := flag.String("balancer", "", "load balancing algorithm (oneshot, maN; empty = off)")
 	maxInFlight := flag.Int("maxinflight", 0, "per-connection in-flight request limit (0 = default)")
+	inFlight := flag.Int("inflight", 0, "global admission budget across all connections (0 = default)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline for clients that send none (0 = unbounded)")
 	metricsAddr := flag.String("metricsaddr", "", "serve live engine metrics as JSON on this address")
 	faultSeed := flag.Int64("faultseed", 0, "enable deterministic fault injection with this seed")
 	flag.Parse()
@@ -38,6 +41,7 @@ func main() {
 	db, err := eris.Open(eris.Options{
 		Machine: *machine, Workers: *workers, Balancer: *balancer,
 		ListenAddr: *addr, MaxInFlight: *maxInFlight,
+		GlobalInFlight: *inFlight, DefaultDeadline: *deadline,
 		MetricsAddr: *metricsAddr, FaultSeed: *faultSeed,
 	})
 	if err != nil {
@@ -85,4 +89,7 @@ func main() {
 		snap.Counter("server.accepted"), snap.Counter("server.requests"),
 		snap.Counter("server.responses"), snap.Counter("server.errors"),
 		snap.Counter("server.bad_frames"))
+	fmt.Printf("admission: %d admitted, %d shed, %d expired\n",
+		snap.Counter("server.admitted"), snap.Counter("server.shed"),
+		snap.Counter("server.expired"))
 }

@@ -135,3 +135,73 @@ func TestErisserveRemoteSmoke(t *testing.T) {
 		t.Fatalf("erisserve saw protocol errors:\n%s", tail)
 	}
 }
+
+// TestErisserveOverloadSmoke boots erisserve with a tiny global admission
+// budget and drives it with the erisload -overload scenario: shed requests
+// must be tolerated and reported as a goodput/shed split rather than
+// aborting the run, and the server's drain report must show the admission
+// counters.
+func TestErisserveOverloadSmoke(t *testing.T) {
+	srv := exec.Command(tool(t, "erisserve"),
+		"-addr", "127.0.0.1:0", "-machine", "single", "-workers", "4",
+		"-keys", "16384", "-inflight", "2", "-deadline", "100ms")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("erisserve printed nothing: %v", sc.Err())
+	}
+	addr, ok := strings.CutPrefix(sc.Text(), "listening on ")
+	if !ok {
+		t.Fatalf("unexpected first line %q", sc.Text())
+	}
+	var rest strings.Builder
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteByte('\n')
+		}
+	}()
+
+	out, err := exec.Command(tool(t, "erisload"),
+		"-remote", addr, "-mix", "scan", "-dur", "0.3",
+		"-conns", "2", "-workers", "16", "-overload", "-timeout", "3ms").CombinedOutput()
+	if err != nil {
+		t.Fatalf("erisload -overload: %v\n%s", err, out)
+	}
+	report := string(out)
+	if !strings.Contains(report, "goodput") || !strings.Contains(report, "shed or expired") {
+		t.Fatalf("erisload -overload report missing goodput/shed split:\n%s", report)
+	}
+	if !strings.Contains(report, "0 connection errors") {
+		t.Fatalf("erisload -overload hit connection errors:\n%s", report)
+	}
+
+	if err := srv.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	werr := make(chan error, 1)
+	go func() { werr <- srv.Wait() }()
+	select {
+	case err := <-werr:
+		if err != nil {
+			t.Fatalf("erisserve exit: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("erisserve did not drain within 60s of SIGINT")
+	}
+	<-drained
+	if !strings.Contains(rest.String(), "admission: ") {
+		t.Fatalf("erisserve drain report missing admission counters:\n%s", rest.String())
+	}
+}

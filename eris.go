@@ -22,6 +22,7 @@ package eris
 
 import (
 	"sort"
+	"time"
 
 	"fmt"
 
@@ -95,6 +96,16 @@ type Options struct {
 	// connection (0 = the server default); beyond it the connection's
 	// reader stalls and TCP backpressure throttles the client.
 	MaxInFlight int
+	// GlobalInFlight bounds concurrently executing requests across ALL
+	// served connections (0 = the server default). Beyond it requests
+	// wait in a bounded queue (at most GlobalInFlight deep) and the
+	// overflow is rejected with wire.ErrOverloaded instead of queueing
+	// without bound.
+	GlobalInFlight int
+	// DefaultDeadline is applied to served requests that carry no
+	// per-request deadline of their own (0 = no default). Requests that
+	// exceed it are rejected with wire.ErrDeadlineExceeded.
+	DefaultDeadline time.Duration
 	// FaultSeed, when non-zero, enables the deterministic control-plane
 	// fault-injection registry with this seed; arm faults with
 	// DB.InjectFault. Zero (the default) disables injection entirely.
@@ -109,9 +120,11 @@ type DB struct {
 	byName  map[string]routing.ObjectID
 	started bool
 
-	listenAddr  string
-	maxInFlight int
-	server      *server.Server
+	listenAddr      string
+	maxInFlight     int
+	globalInFlight  int
+	defaultDeadline time.Duration
+	server          *server.Server
 }
 
 // Open builds an engine from options; create objects, optionally bulk-load
@@ -150,6 +163,7 @@ func Open(opts Options) (*DB, error) {
 	return &DB{
 		engine: e, alg: alg, byName: make(map[string]routing.ObjectID),
 		listenAddr: opts.ListenAddr, maxInFlight: opts.MaxInFlight,
+		globalInFlight: opts.GlobalInFlight, defaultDeadline: opts.DefaultDeadline,
 	}, nil
 }
 
@@ -308,8 +322,10 @@ func (db *DB) Start() error {
 	db.started = true
 	if db.listenAddr != "" {
 		srv := server.New(db.engine, db.objectTable(), server.Options{
-			MaxInFlight: db.maxInFlight,
-			Faults:      db.engine.Faults(),
+			MaxInFlight:     db.maxInFlight,
+			GlobalInFlight:  db.globalInFlight,
+			DefaultDeadline: db.defaultDeadline,
+			Faults:          db.engine.Faults(),
 		})
 		if err := srv.Listen(db.listenAddr); err != nil {
 			db.engine.Stop()

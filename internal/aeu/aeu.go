@@ -11,6 +11,7 @@
 package aeu
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -30,6 +31,12 @@ import (
 // ClientReply in a command's ReplyTo routes results to the engine's client
 // callback instead of another AEU.
 const ClientReply int32 = -2
+
+// ErrExpired is the error reported for a command whose deadline passed
+// while it was parked in the deferred queue (waiting out a partition
+// transfer) — the issuer gets a definitive failure instead of a command
+// that retries forever.
+var ErrExpired = errors.New("aeu: command deadline expired")
 
 // Config tunes AEU behaviour.
 type Config struct {
@@ -190,7 +197,7 @@ type AEU struct {
 	genDone   bool
 	skewed    bool
 
-	onClientResult func(tag uint64, from uint32, kvs []prefixtree.KV, answered int)
+	onClientResult func(tag uint64, from uint32, kvs []prefixtree.KV, answered int, err error)
 
 	stop     atomic.Bool
 	timeline *Timeline
@@ -215,6 +222,7 @@ type AEU struct {
 		validKVs    []prefixtree.KV
 		foreignKVs  []prefixtree.KV
 		replyKVs    []prefixtree.KV
+		scanAggs    []scanAgg
 	}
 
 	// Counters, registered on the engine's metrics registry under
@@ -227,8 +235,12 @@ type AEU struct {
 	ctrlErrors  *metrics.Counter // control commands that could not be applied
 	xferErrors  *metrics.Counter // failed fetches / dropped transfers
 	boundsFixed *metrics.Counter // partitions realigned to the routing table
+	expired     *metrics.Counter // deferred commands whose deadline passed
 	groupNS     *metrics.Histogram
 }
+
+// scanAgg accumulates one scan command's share of a shared column pass.
+type scanAgg struct{ matched, sum uint64 }
 
 type groupKey struct {
 	obj     routing.ObjectID
@@ -246,6 +258,11 @@ type group struct {
 	// are decoded zero-copy, so the retained scans' Keys must not alias
 	// the inbox buffer.
 	scanKeys []uint64
+	// deadline is the earliest non-zero deadline of the batched commands
+	// (unix nanoseconds, 0 = none); deferral and forwarding preserve it.
+	// Batches sharing a group belong to the same request tag, so in
+	// practice all members agree on it.
+	deadline uint64
 }
 
 // New creates an AEU pinned to core id of the machine.
@@ -275,6 +292,7 @@ func New(r *routing.Router, mems *mem.System, id uint32, cfg Config) *AEU {
 		ctrlErrors:     reg.Counter(prefix + "control_errors"),
 		xferErrors:     reg.Counter(prefix + "transfer_errors"),
 		boundsFixed:    reg.Counter(prefix + "bounds_reconciled"),
+		expired:        reg.Counter(prefix + "expired"),
 		// 250 ns to ~65 ms in 10 exponential buckets: command groups span
 		// single-key lookups to full partition scans.
 		groupNS: reg.Histogram(prefix+"group_ns", metrics.ExpBuckets(250, 4, 10)),
@@ -300,8 +318,9 @@ func (a *AEU) SetEpochDone(fn func(aeu uint32, obj routing.ObjectID, epoch uint6
 // after the callback returns; implementations must copy what they keep.
 // answered counts how many request keys (scan commands, for scans) the
 // reply settles, which exceeds len(kvs) for missed lookups and for
-// upsert/delete acks.
-func (a *AEU) SetClientResult(fn func(tag uint64, from uint32, kvs []prefixtree.KV, answered int)) {
+// upsert/delete acks. A non-nil err marks the answered portion as failed
+// (deadline expiry, unserved op) with no payload.
+func (a *AEU) SetClientResult(fn func(tag uint64, from uint32, kvs []prefixtree.KV, answered int, err error)) {
 	a.onClientResult = fn
 }
 

@@ -81,10 +81,7 @@ func newHarness(t testing.TB, topo *topology.Topology, n int, domain uint64) *ha
 func (h *harness) step(i int) {
 	a := h.aeus[i]
 	h.router.Drain(a.ID, a.classify)
-	for _, c := range a.requeue {
-		a.classify(c)
-	}
-	a.requeue = a.requeue[:0]
+	a.drainRequeue()
 	a.processGroups()
 	if a.mailCnt.Load() > 0 {
 		a.receiveTransfers()
@@ -112,7 +109,7 @@ func TestLookupAndUpsertProcessing(t *testing.T) {
 	var mu sync.Mutex
 	var results []prefixtree.KV
 	for _, a := range h.aeus {
-		a.SetClientResult(func(tag uint64, from uint32, kvs []prefixtree.KV, answered int) {
+		a.SetClientResult(func(tag uint64, from uint32, kvs []prefixtree.KV, answered int, err error) {
 			mu.Lock()
 			results = append(results, kvs...)
 			mu.Unlock()
@@ -331,7 +328,7 @@ func TestColumnScanSharing(t *testing.T) {
 
 	var mu sync.Mutex
 	got := map[uint64][]prefixtree.KV{}
-	a0.SetClientResult(func(tag uint64, from uint32, kvs []prefixtree.KV, answered int) {
+	a0.SetClientResult(func(tag uint64, from uint32, kvs []prefixtree.KV, answered int, err error) {
 		mu.Lock()
 		got[tag] = kvs
 		mu.Unlock()

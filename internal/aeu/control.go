@@ -191,10 +191,7 @@ func (a *AEU) Settle() bool {
 		busy = true
 	}
 	if len(a.requeue) > 0 {
-		for _, c := range a.requeue {
-			a.classify(c)
-		}
-		a.requeue = a.requeue[:0]
+		a.drainRequeue()
 		busy = true
 	}
 	if len(a.order) > 0 {

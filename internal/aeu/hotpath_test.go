@@ -11,6 +11,7 @@ import (
 	"eris/internal/colstore"
 	"eris/internal/command"
 	"eris/internal/prefixtree"
+	"eris/internal/routing"
 	"eris/internal/topology"
 )
 
@@ -114,7 +115,7 @@ func TestScanBoundsClonedFromCallerBuffer(t *testing.T) {
 		p.Tree.Upsert(a0.Core, k, k, 1)
 	}
 	var got []prefixtree.KV
-	a0.SetClientResult(func(tag uint64, from uint32, kvs []prefixtree.KV, answered int) {
+	a0.SetClientResult(func(tag uint64, from uint32, kvs []prefixtree.KV, answered int, err error) {
 		got = append(got, kvs...)
 	})
 	bounds := []uint64{410, 420}
@@ -140,10 +141,24 @@ func TestScanBoundsClonedFromCallerBuffer(t *testing.T) {
 
 // TestServePathSteadyStateAllocs is the allocation regression guard for
 // the drain → classify → process path: after warm-up, serving a coalesced
-// lookup group and an upsert group must not allocate.
+// lookup group, an upsert group and a shared column-scan group must not
+// allocate (the per-scan aggregate slots live in per-AEU scratch).
 func TestServePathSteadyStateAllocs(t *testing.T) {
 	h := newHarness(t, topology.SingleNode(2), 2, 1<<14)
 	a0 := h.aeus[0]
+	const colObj routing.ObjectID = 2
+	pc, err := a0.AddColumnPartition(colObj, colstore.Config{ChunkEntries: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.router.RegisterSize(colObj, []uint32{0}); err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]uint64, 512)
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	pc.Col.Append(a0.Core, vals)
 	src := h.aeus[1].Outbox()
 	keys := make([]uint64, 64)
 	kvs := make([]prefixtree.KV, 64)
@@ -154,11 +169,17 @@ func TestServePathSteadyStateAllocs(t *testing.T) {
 	run := func() {
 		src.RouteLookup(testObj, keys, command.NoReply, 0)
 		src.RouteUpsert(testObj, kvs, command.NoReply, 0)
+		for i := 0; i < 4; i++ { // shared pass over 4 scan commands
+			src.RouteScan(colObj, colstore.Predicate{Op: colstore.Less, Operand: uint64(100 + i)}, command.NoReply, 0)
+		}
 		src.Flush()
 		h.router.Drain(a0.ID, a0.classify)
 		a0.processGroups()
 	}
-	for i := 0; i < 32; i++ {
+	// Warm-up must wrap the full multicast ring: each of its 1024 slots
+	// allocates its encode buffer on first use, and scans advance the ring
+	// by one slot per routed command.
+	for i := 0; i < 300; i++ {
 		run()
 	}
 	if avg := testing.AllocsPerRun(200, run); avg != 0 {

@@ -1,7 +1,9 @@
 package aeu
 
 import (
+	"fmt"
 	"runtime"
+	"time"
 
 	"eris/internal/command"
 	"eris/internal/prefixtree"
@@ -32,12 +34,12 @@ func (a *AEU) Run() {
 		}
 
 		// Stage 1+2: drain the incoming buffer, group commands by data
-		// object and type, then process the groups.
+		// object and type, then process the groups. Requeued commands
+		// (released deferrals) are checked against their deadline first —
+		// work that expired waiting out a transfer answers with an error
+		// instead of bouncing through another rebalance cycle.
 		drained := a.router.Drain(a.ID, a.classify)
-		for _, c := range a.requeue {
-			a.classify(c)
-		}
-		a.requeue = a.requeue[:0]
+		a.drainRequeue()
 		if drained > 0 {
 			a.machine.AdvanceNS(a.Core, groupNSPerCommand*float64(drained))
 			busy = true
@@ -58,6 +60,7 @@ func (a *AEU) Run() {
 		}
 		if iter%reconcileEvery == 0 {
 			a.reconcileBounds()
+			a.expireDeferred()
 		}
 
 		// Workload generation. An AEU whose virtual clock ran far ahead of
@@ -124,8 +127,16 @@ func (a *AEU) classify(c command.Command) {
 		g := a.group(k)
 		g.keys = append(g.keys, c.Keys...)
 		g.kvs = append(g.kvs, c.KVs...)
+		g.deadline = mergeDeadline(g.deadline, c.Deadline)
 	case command.OpScan:
 		k := groupKey{obj: routing.ObjectID(c.Object), op: c.Op}
+		if a.cfg.NoCoalesce {
+			// Group splitting applies to scans too: each scan runs its own
+			// partition pass instead of joining a shared one, so the
+			// ablation measures uncoalesced scan cost honestly.
+			a.noCoSeq++
+			k.tag = a.noCoSeq
+		}
 		g := a.group(k)
 		if len(c.Keys) > 0 {
 			start := len(g.scanKeys)
@@ -143,10 +154,92 @@ func (a *AEU) classify(c command.Command) {
 		a.handleError(c)
 	default:
 		// A command that decoded but carries an op this loop does not
-		// serve; dropping it is strictly better than taking the engine
-		// down with it.
+		// serve; it cannot be executed, but a requester waiting on it must
+		// hear that — a silent drop would leave a remote client hanging
+		// until its timeout.
 		a.ctrlErrors.Inc()
+		if c.ReplyTo != command.NoReply {
+			a.replyErr(
+				groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source},
+				answeredOf(c),
+				fmt.Errorf("aeu %d: unserved op %v", a.ID, c.Op),
+			)
+		}
 	}
+}
+
+// mergeDeadline combines batch deadlines: the earliest non-zero one wins.
+func mergeDeadline(cur, next uint64) uint64 {
+	if next != 0 && (cur == 0 || next < cur) {
+		return next
+	}
+	return cur
+}
+
+// answeredOf is how many request units a definitive failure of c settles,
+// mirroring the accounting of successful replies (keys for batches, one
+// per scan command); never zero so a waiting issuer always makes progress.
+func answeredOf(c command.Command) int {
+	n := len(c.Keys)
+	if len(c.KVs) > n {
+		n = len(c.KVs)
+	}
+	if c.Op == command.OpScan {
+		n = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// drainRequeue reclassifies commands released from the deferred queue,
+// expiring those whose deadline passed while they were parked.
+func (a *AEU) drainRequeue() {
+	if len(a.requeue) == 0 {
+		return
+	}
+	now := uint64(time.Now().UnixNano())
+	for _, c := range a.requeue {
+		if c.Deadline != 0 && now > c.Deadline {
+			a.expireCommand(c)
+			continue
+		}
+		a.classify(c)
+	}
+	a.requeue = a.requeue[:0]
+}
+
+// expireDeferred sweeps the deferred queue for commands whose deadline
+// passed while their transfer epoch is still open — without this, a
+// wedged epoch (faults, lost acks) parks deadline-carrying work until an
+// unrelated balance cycle flushes it.
+func (a *AEU) expireDeferred() {
+	if len(a.deferred) == 0 {
+		return
+	}
+	now := uint64(time.Now().UnixNano())
+	kept := a.deferred[:0]
+	for _, c := range a.deferred {
+		if c.Deadline != 0 && now > c.Deadline {
+			a.expireCommand(c)
+			continue
+		}
+		kept = append(kept, c)
+	}
+	a.deferred = kept
+}
+
+// expireCommand answers a deadline-expired command with ErrExpired.
+func (a *AEU) expireCommand(c command.Command) {
+	a.expired.Inc()
+	if c.ReplyTo == command.NoReply {
+		return
+	}
+	a.replyErr(
+		groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source},
+		answeredOf(c), ErrExpired,
+	)
 }
 
 // group returns the group for k, recycling a released one when available.
@@ -173,6 +266,7 @@ func (a *AEU) releaseGroup(k groupKey, g *group) {
 	g.kvs = g.kvs[:0]
 	g.scans = g.scans[:0]
 	g.scanKeys = g.scanKeys[:0]
+	g.deadline = 0
 	a.groupFree = append(a.groupFree, g)
 }
 
@@ -243,7 +337,7 @@ func (a *AEU) processLookups(k groupKey, g *group, p *Partition) {
 	if len(foreign) > 0 {
 		// Invalid commands (stale routing): re-route to the new owner.
 		a.machine.AdvanceNS(a.Core, forwardNSPerKey*float64(len(foreign)))
-		a.Outbox().RouteLookup(k.obj, foreign, k.replyTo, k.tag)
+		a.Outbox().RouteLookupDeadline(k.obj, foreign, k.replyTo, k.tag, g.deadline)
 		a.forwards.Add(int64(len(foreign)))
 	}
 	if len(deferredIdx) > 0 {
@@ -255,7 +349,7 @@ func (a *AEU) processLookups(k groupKey, g *group, p *Partition) {
 		}
 		a.deferred = append(a.deferred, command.Command{
 			Op: command.OpLookup, Object: uint32(k.obj), Source: k.source,
-			ReplyTo: k.replyTo, Tag: k.tag, Keys: keys,
+			ReplyTo: k.replyTo, Tag: k.tag, Keys: keys, Deadline: g.deadline,
 		})
 		a.deferredCnt.Add(int64(len(keys)))
 	}
@@ -297,7 +391,7 @@ func (a *AEU) processDeletes(k groupKey, g *group, p *Partition) {
 
 	if len(foreign) > 0 {
 		a.machine.AdvanceNS(a.Core, forwardNSPerKey*float64(len(foreign)))
-		a.Outbox().RouteDelete(k.obj, foreign, k.replyTo, k.tag)
+		a.Outbox().RouteDeleteDeadline(k.obj, foreign, k.replyTo, k.tag, g.deadline)
 		a.forwards.Add(int64(len(foreign)))
 	}
 	if len(deferredIdx) > 0 {
@@ -307,7 +401,7 @@ func (a *AEU) processDeletes(k groupKey, g *group, p *Partition) {
 		}
 		a.deferred = append(a.deferred, command.Command{
 			Op: command.OpDelete, Object: uint32(k.obj), Source: k.source,
-			ReplyTo: k.replyTo, Tag: k.tag, Keys: keys,
+			ReplyTo: k.replyTo, Tag: k.tag, Keys: keys, Deadline: g.deadline,
 		})
 		a.deferredCnt.Add(int64(len(keys)))
 	}
@@ -341,13 +435,13 @@ func (a *AEU) processUpserts(k groupKey, g *group, p *Partition) {
 	a.scratch.validKVs, a.scratch.foreignKVs = validKVs, foreign
 	if len(foreign) > 0 {
 		a.machine.AdvanceNS(a.Core, forwardNSPerKey*float64(len(foreign)))
-		a.Outbox().RouteUpsert(k.obj, foreign, k.replyTo, k.tag)
+		a.Outbox().RouteUpsertDeadline(k.obj, foreign, k.replyTo, k.tag, g.deadline)
 		a.forwards.Add(int64(len(foreign)))
 	}
 	if len(pend) > 0 {
 		a.deferred = append(a.deferred, command.Command{
 			Op: command.OpUpsert, Object: uint32(k.obj), Source: k.source,
-			ReplyTo: k.replyTo, Tag: k.tag, KVs: pend,
+			ReplyTo: k.replyTo, Tag: k.tag, KVs: pend, Deadline: g.deadline,
 		})
 		a.deferredCnt.Add(int64(len(pend)))
 	}
@@ -375,8 +469,11 @@ func (a *AEU) processScans(g *group, p *Partition) {
 
 func (a *AEU) processColumnScans(g *group, p *Partition) {
 	snapshot := p.Col.Snapshot()
-	type agg struct{ matched, sum uint64 }
-	aggs := make([]agg, len(g.scans))
+	if cap(a.scratch.scanAggs) < len(g.scans) {
+		a.scratch.scanAggs = make([]scanAgg, len(g.scans))
+	}
+	aggs := a.scratch.scanAggs[:len(g.scans)]
+	clear(aggs)
 	p.Col.Scan(a.Core, snapshot, func(values []uint64) {
 		for _, v := range values {
 			for i := range g.scans {
@@ -473,17 +570,17 @@ func (a *AEU) forwardGroup(k groupKey, g *group) {
 	switch k.op {
 	case command.OpLookup:
 		if len(g.keys) > 0 {
-			a.Outbox().RouteLookup(k.obj, g.keys, k.replyTo, k.tag)
+			a.Outbox().RouteLookupDeadline(k.obj, g.keys, k.replyTo, k.tag, g.deadline)
 			a.forwards.Add(int64(len(g.keys)))
 		}
 	case command.OpUpsert:
 		if len(g.kvs) > 0 {
-			a.Outbox().RouteUpsert(k.obj, g.kvs, k.replyTo, k.tag)
+			a.Outbox().RouteUpsertDeadline(k.obj, g.kvs, k.replyTo, k.tag, g.deadline)
 			a.forwards.Add(int64(len(g.kvs)))
 		}
 	case command.OpDelete:
 		if len(g.keys) > 0 {
-			a.Outbox().RouteDelete(k.obj, g.keys, k.replyTo, k.tag)
+			a.Outbox().RouteDeleteDeadline(k.obj, g.keys, k.replyTo, k.tag, g.deadline)
 			a.forwards.Add(int64(len(g.keys)))
 		}
 	case command.OpScan:
@@ -515,7 +612,7 @@ func (a *AEU) forwardGroup(k groupKey, g *group) {
 func (a *AEU) reply(k groupKey, kvs []prefixtree.KV, answered int) {
 	if k.replyTo == ClientReply {
 		if a.onClientResult != nil {
-			a.onClientResult(k.tag, a.ID, kvs, answered)
+			a.onClientResult(k.tag, a.ID, kvs, answered, nil)
 		}
 		return
 	}
@@ -526,11 +623,32 @@ func (a *AEU) reply(k groupKey, kvs []prefixtree.KV, answered int) {
 	a.Outbox().Send(uint32(k.replyTo), &cmd)
 }
 
+// replyErr reports a definitive failure to the requester: the engine's
+// client callback hears the error directly; an AEU requester gets an
+// OpError whose Tag carries the correlation id (handleError treats an
+// unknown epoch as a no-op, so misdirected ones are harmless).
+func (a *AEU) replyErr(k groupKey, answered int, err error) {
+	if k.replyTo == ClientReply {
+		if a.onClientResult != nil {
+			a.onClientResult(k.tag, a.ID, nil, answered, err)
+		}
+		return
+	}
+	if k.replyTo == command.NoReply {
+		return
+	}
+	cmd := command.Command{
+		Op: command.OpError, Object: uint32(k.obj), Source: a.ID,
+		ReplyTo: command.NoReply, Tag: k.tag,
+	}
+	a.Outbox().Send(uint32(k.replyTo), &cmd)
+}
+
 // handleResult surfaces routed results to the result callback; AEU-level
 // query processing (joins etc.) sits above the storage engine, so results
 // arriving here are for the engine client.
 func (a *AEU) handleResult(c command.Command) {
 	if a.onClientResult != nil {
-		a.onClientResult(c.Tag, c.Source, c.KVs, len(c.KVs))
+		a.onClientResult(c.Tag, c.Source, c.KVs, len(c.KVs), nil)
 	}
 }

@@ -67,6 +67,9 @@ func AblationPartitionTable(p Params) ([]*Table, error) {
 
 // AblationCoalescing compares the AEU's command grouping (scan sharing /
 // batched lookups) against processing every routed command individually.
+// Lookups exercise per-source batch merging; multicast scans exercise
+// shared-pass folding — NoCoalesce splits scan groups too, so each scan
+// pays its own partition pass.
 func AblationCoalescing(p Params) ([]*Table, error) {
 	dur := p.dur(0.002)
 	domain := uint64(1e9 / p.scale())
@@ -85,7 +88,24 @@ func AblationCoalescing(p Params) ([]*Table, error) {
 		t.Add(variant.name, mops(r.Throughput))
 	}
 	t.Note("grouping merges per-source batches so memory-level parallelism hides DRAM latency")
-	return []*Table{t}, nil
+
+	s := &Table{
+		Title:   "Ablation: Scan Coalescing On vs. Off (AMD multicast scans)",
+		Headers: []string{"grouping", "throughput (K scans/s)"},
+	}
+	entries := int64(1e8 / p.scale())
+	for _, variant := range []struct {
+		name string
+		off  bool
+	}{{"on", false}, {"off", true}} {
+		r, err := erisMulticastScanRun(setup{Topo: topology.AMD(), CacheScale: p.cacheScale(), NoCoalesce: variant.off}, entries, dur)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(variant.name, kops(r.Throughput))
+	}
+	s.Note("a shared pass serves every scan in its group with one sweep over the partition; uncoalesced, each scan pays a full pass")
+	return []*Table{t, s}, nil
 }
 
 // AblationTransfer measures the two partition transfer mechanisms of

@@ -161,6 +161,35 @@ func erisScanRun(s setup, totalEntries int64, durSec float64) (hwcounter.Report,
 	return runMeasured(e, durSec)
 }
 
+// erisMulticastScanRun loads a column and measures routed multicast scans:
+// every AEU keeps a window of scans in flight against all partitions, the
+// path where receivers fold concurrent scans into shared passes (and where
+// NoCoalesce forces one partition pass per scan command).
+func erisMulticastScanRun(s setup, totalEntries int64, durSec float64) (hwcounter.Report, error) {
+	e, err := core.New(s.engineConfig())
+	if err != nil {
+		return hwcounter.Report{}, err
+	}
+	defer e.Stop()
+	if err := e.CreateColumn(benchObj); err != nil {
+		return hwcounter.Report{}, err
+	}
+	per := totalEntries / int64(e.NumAEUs())
+	if per < 1 {
+		per = 1
+	}
+	if err := e.LoadColumnUniform(benchObj, per, nil); err != nil {
+		return hwcounter.Report{}, err
+	}
+	e.SetGenerators(func(i int) aeu.Generator {
+		return &core.ScanGenerator{
+			Object: benchObj, Pred: colstore.Predicate{Op: colstore.All},
+			DurationSec: durSec * 3,
+		}
+	})
+	return runMeasured(e, durSec)
+}
+
 // sharedMachine builds the machine + memory for a shared baseline run.
 func sharedMachine(topo *topology.Topology, cacheScale float64) (*numasim.Machine, *mem.System, error) {
 	m, err := numasim.New(topo, numasim.Config{CacheScale: cacheScale})
@@ -226,3 +255,5 @@ func speedup(v, base float64) float64 {
 
 // mops formats a throughput in million operations per second.
 func mops(t float64) string { return fmt.Sprintf("%.2f", t/1e6) }
+
+func kops(t float64) string { return fmt.Sprintf("%.2f", t/1e3) }

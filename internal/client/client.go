@@ -5,12 +5,22 @@
 // goroutine per connection dispatches responses by tag, so any number of
 // goroutines can keep batches in flight on one connection and responses
 // may return in any order.
+//
+// Calls take per-request deadlines from their context (or from
+// Options.DefaultTimeout); on protocol v2 connections the deadline rides
+// the request frame so the server can shed work that cannot finish in
+// time. A server rejection with wire.ErrOverloaded is retried with capped
+// exponential backoff (the server sheds before executing, so retrying is
+// always safe, including for writes); wire.ErrDeadlineExceeded and
+// context expiry are surfaced as-is for the caller to decide.
 package client
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -25,10 +35,30 @@ import (
 // connection died; the pending calls fail with the transport error).
 var ErrClosed = errors.New("client: connection closed")
 
+// retryCapIntervals caps the exponential overload backoff at this many
+// base intervals (the same shape as the balancer's fail-soft retry).
+const retryCapIntervals = 16
+
 // Options tunes a client connection.
 type Options struct {
 	// DialTimeout bounds the TCP connect and the handshake (default 5s).
 	DialTimeout time.Duration
+	// DefaultTimeout applies a per-request deadline to calls whose
+	// context carries none (0 = requests without a context deadline
+	// never time out locally).
+	DefaultTimeout time.Duration
+	// OverloadRetries is how many times a call rejected with
+	// wire.ErrOverloaded is retried before the error is returned
+	// (default 3; negative disables retry). Shed requests were never
+	// executed, so retrying writes is safe.
+	OverloadRetries int
+	// RetryBackoff is the base of the capped exponential backoff between
+	// overload retries (default 500µs; the cap is 16× the base).
+	RetryBackoff time.Duration
+	// ProtocolVersion caps the protocol version offered in the
+	// handshake (default wire.Version). Set wire.VersionLegacy to mimic
+	// an old client; the connection speaks min(server, this).
+	ProtocolVersion uint16
 	// Metrics, when non-nil, receives client.* counters; a pool's
 	// connections share the registry passed to NewPool.
 	Metrics *metrics.Registry
@@ -37,6 +67,17 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.DialTimeout == 0 {
 		o.DialTimeout = 5 * time.Second
+	}
+	if o.OverloadRetries == 0 {
+		o.OverloadRetries = 3
+	} else if o.OverloadRetries < 0 {
+		o.OverloadRetries = 0
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 500 * time.Microsecond
+	}
+	if o.ProtocolVersion == 0 {
+		o.ProtocolVersion = wire.Version
 	}
 	return o
 }
@@ -47,6 +88,8 @@ type Client struct {
 	nc      net.Conn
 	objects []wire.ObjectInfo
 	byName  map[string]wire.ObjectInfo
+	version uint16 // negotiated protocol version
+	opts    Options
 
 	wmu sync.Mutex // serializes frame writes
 	bw  *bufio.Writer
@@ -58,21 +101,27 @@ type Client struct {
 	err     error // terminal transport error; set once, then all calls fail
 	closed  bool
 
-	requests  *metrics.Counter
-	errsCtr   *metrics.Counter
-	connErrs  *metrics.Counter
-	readerEnd sync.WaitGroup
+	requests   *metrics.Counter
+	errsCtr    *metrics.Counter
+	connErrs   *metrics.Counter
+	timeouts   *metrics.Counter // calls abandoned on a local deadline
+	retries    *metrics.Counter // overload retries performed
+	overloaded *metrics.Counter // ErrOverloaded results (before retry)
+	readerEnd  sync.WaitGroup
 }
 
 // Dial connects, performs the handshake and starts the reader.
 func Dial(addr string, opts Options) (*Client, error) {
 	opts = opts.withDefaults()
+	if opts.ProtocolVersion < wire.VersionLegacy || opts.ProtocolVersion > wire.Version {
+		return nil, fmt.Errorf("client: unsupported protocol version %d", opts.ProtocolVersion)
+	}
 	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
 	nc.SetDeadline(time.Now().Add(opts.DialTimeout))
-	hello := wire.Msg{Type: wire.THello, Magic: wire.Magic, Version: wire.Version}
+	hello := wire.Msg{Type: wire.THello, Magic: wire.Magic, Version: opts.ProtocolVersion}
 	frame, err := wire.AppendFrame(nil, &hello)
 	if err != nil {
 		nc.Close()
@@ -91,9 +140,13 @@ func Dial(addr string, opts Options) (*Client, error) {
 		nc.Close()
 		return nil, fmt.Errorf("client: handshake: unexpected %v", welcome.Type)
 	}
-	if welcome.Version != wire.Version {
+	if welcome.Version < wire.VersionLegacy {
 		nc.Close()
-		return nil, fmt.Errorf("client: protocol version %d, want %d", welcome.Version, wire.Version)
+		return nil, fmt.Errorf("client: protocol version %d, want >= %d", welcome.Version, wire.VersionLegacy)
+	}
+	version := welcome.Version
+	if opts.ProtocolVersion < version {
+		version = opts.ProtocolVersion
 	}
 	nc.SetDeadline(time.Time{})
 
@@ -102,14 +155,19 @@ func Dial(addr string, opts Options) (*Client, error) {
 		reg = metrics.NewRegistry()
 	}
 	c := &Client{
-		nc:       nc,
-		objects:  welcome.Objects,
-		byName:   make(map[string]wire.ObjectInfo, len(welcome.Objects)),
-		bw:       bufio.NewWriter(nc),
-		pending:  make(map[uint64]chan wire.Msg),
-		requests: reg.Counter("client.requests"),
-		errsCtr:  reg.Counter("client.errors"),
-		connErrs: reg.Counter("client.conn_errors"),
+		nc:         nc,
+		objects:    welcome.Objects,
+		byName:     make(map[string]wire.ObjectInfo, len(welcome.Objects)),
+		version:    version,
+		opts:       opts,
+		bw:         bufio.NewWriter(nc),
+		pending:    make(map[uint64]chan wire.Msg),
+		requests:   reg.Counter("client.requests"),
+		errsCtr:    reg.Counter("client.errors"),
+		connErrs:   reg.Counter("client.conn_errors"),
+		timeouts:   reg.Counter("client.timeouts"),
+		retries:    reg.Counter("client.retries"),
+		overloaded: reg.Counter("client.overloaded"),
 	}
 	for _, o := range welcome.Objects {
 		c.byName[o.Name] = o
@@ -127,6 +185,9 @@ func (c *Client) Object(name string) (wire.ObjectInfo, bool) {
 	o, ok := c.byName[name]
 	return o, ok
 }
+
+// Version returns the negotiated protocol version.
+func (c *Client) Version() uint16 { return c.version }
 
 // Close tears the connection down; in-flight calls fail with ErrClosed.
 func (c *Client) Close() error {
@@ -150,7 +211,7 @@ func (c *Client) readLoop() {
 	for {
 		var m wire.Msg
 		var err error
-		if buf, err = wire.ReadMsg(c.nc, &m, buf); err != nil {
+		if buf, err = wire.ReadMsgV(c.nc, &m, buf, c.version); err != nil {
 			c.fail(err)
 			return
 		}
@@ -184,8 +245,73 @@ func (c *Client) fail(err error) {
 	}
 }
 
-// roundTrip sends one tagged request and waits for its response.
-func (c *Client) roundTrip(req *wire.Msg) (wire.Msg, error) {
+// do runs one call with the context's deadline (or DefaultTimeout) and
+// the overload retry policy. Every retry re-sends under a fresh tag but
+// shares the original deadline — the backoff never extends a call past
+// what the caller asked for.
+func (c *Client) do(ctx context.Context, req *wire.Msg) (wire.Msg, error) {
+	deadline, hasDeadline := ctx.Deadline()
+	if !hasDeadline && c.opts.DefaultTimeout > 0 {
+		deadline, hasDeadline = time.Now().Add(c.opts.DefaultTimeout), true
+	}
+	for attempt := 0; ; attempt++ {
+		m, err := c.roundTrip(ctx, req, deadline, hasDeadline)
+		if err == nil || !errors.Is(err, wire.ErrOverloaded) {
+			return m, err
+		}
+		c.overloaded.Inc()
+		if attempt >= c.opts.OverloadRetries {
+			return wire.Msg{}, err
+		}
+		wait := c.opts.RetryBackoff << attempt
+		if cap := c.opts.RetryBackoff * retryCapIntervals; wait > cap {
+			wait = cap
+		}
+		if hasDeadline && time.Now().Add(wait).After(deadline) {
+			// The backoff would outlive the deadline: the retry cannot
+			// possibly succeed in time, report the timeout now.
+			c.timeouts.Inc()
+			return wire.Msg{}, fmt.Errorf("client: %w", wire.ErrDeadlineExceeded)
+		}
+		c.retries.Inc()
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return wire.Msg{}, ctx.Err()
+		}
+	}
+}
+
+// roundTrip sends one tagged request and waits for its response, the
+// context's cancellation or the call deadline, whichever is first. On v2
+// connections the remaining deadline is stamped onto the frame so the
+// server can shed the request when it cannot be served in time.
+func (c *Client) roundTrip(ctx context.Context, req *wire.Msg, deadline time.Time, hasDeadline bool) (wire.Msg, error) {
+	req.DeadlineUS = 0
+	var expire <-chan time.Time
+	if hasDeadline {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			c.timeouts.Inc()
+			return wire.Msg{}, fmt.Errorf("client: %w", wire.ErrDeadlineExceeded)
+		}
+		if c.version >= 2 {
+			us := remaining.Microseconds()
+			if us < 1 {
+				us = 1
+			}
+			if us > math.MaxUint32 {
+				us = math.MaxUint32
+			}
+			req.DeadlineUS = uint32(us)
+		}
+		t := time.NewTimer(remaining)
+		defer t.Stop()
+		expire = t.C
+	}
+
 	ch := make(chan wire.Msg, 1)
 	c.mu.Lock()
 	if c.err != nil || c.closed {
@@ -203,7 +329,7 @@ func (c *Client) roundTrip(req *wire.Msg) (wire.Msg, error) {
 	c.requests.Inc()
 
 	c.wmu.Lock()
-	enc, err := wire.AppendFrame(c.enc[:0], req)
+	enc, err := wire.AppendFrameV(c.enc[:0], req, c.version)
 	if err == nil {
 		c.enc = enc
 		_, err = c.bw.Write(enc)
@@ -216,25 +342,46 @@ func (c *Client) roundTrip(req *wire.Msg) (wire.Msg, error) {
 		c.fail(err)
 	}
 
-	m, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.err
-		c.mu.Unlock()
-		if err == nil {
-			err = ErrClosed
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return wire.Msg{}, err
 		}
-		return wire.Msg{}, err
+		if m.Type == wire.TError {
+			c.errsCtr.Inc()
+			return wire.Msg{}, fmt.Errorf("client: server error: %w", wire.ErrFromMsg(&m))
+		}
+		return m, nil
+	case <-expire:
+		c.abandon(req.Tag)
+		c.timeouts.Inc()
+		return wire.Msg{}, fmt.Errorf("client: %w", wire.ErrDeadlineExceeded)
+	case <-ctx.Done():
+		c.abandon(req.Tag)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			c.timeouts.Inc()
+			return wire.Msg{}, fmt.Errorf("client: %w", wire.ErrDeadlineExceeded)
+		}
+		return wire.Msg{}, ctx.Err()
 	}
-	if m.Type == wire.TError {
-		c.errsCtr.Inc()
-		return wire.Msg{}, fmt.Errorf("client: server error: %s", m.Err)
-	}
-	return m, nil
 }
 
-func (c *Client) expect(req *wire.Msg, want wire.Type) (wire.Msg, error) {
-	m, err := c.roundTrip(req)
+// abandon drops a pending tag whose caller gave up; a late response for
+// it is discarded by the read loop.
+func (c *Client) abandon(tag uint64) {
+	c.mu.Lock()
+	delete(c.pending, tag)
+	c.mu.Unlock()
+}
+
+func (c *Client) expect(ctx context.Context, req *wire.Msg, want wire.Type) (wire.Msg, error) {
+	m, err := c.do(ctx, req)
 	if err != nil {
 		return m, err
 	}
@@ -248,7 +395,12 @@ func (c *Client) expect(req *wire.Msg, want wire.Type) (wire.Msg, error) {
 
 // Lookup returns the found pairs for a batch of keys, sorted by key.
 func (c *Client) Lookup(object uint32, keys []uint64) ([]prefixtree.KV, error) {
-	m, err := c.expect(&wire.Msg{Type: wire.TLookup, Object: object, Keys: keys}, wire.TResult)
+	return c.LookupCtx(context.Background(), object, keys)
+}
+
+// LookupCtx is Lookup bounded by the context's deadline.
+func (c *Client) LookupCtx(ctx context.Context, object uint32, keys []uint64) ([]prefixtree.KV, error) {
+	m, err := c.expect(ctx, &wire.Msg{Type: wire.TLookup, Object: object, Keys: keys}, wire.TResult)
 	if err != nil {
 		return nil, err
 	}
@@ -257,13 +409,23 @@ func (c *Client) Lookup(object uint32, keys []uint64) ([]prefixtree.KV, error) {
 
 // Upsert writes a batch of pairs; a nil error means the engine applied it.
 func (c *Client) Upsert(object uint32, kvs []prefixtree.KV) error {
-	_, err := c.expect(&wire.Msg{Type: wire.TUpsert, Object: object, KVs: kvs}, wire.TAck)
+	return c.UpsertCtx(context.Background(), object, kvs)
+}
+
+// UpsertCtx is Upsert bounded by the context's deadline.
+func (c *Client) UpsertCtx(ctx context.Context, object uint32, kvs []prefixtree.KV) error {
+	_, err := c.expect(ctx, &wire.Msg{Type: wire.TUpsert, Object: object, KVs: kvs}, wire.TAck)
 	return err
 }
 
 // Delete removes a batch of keys.
 func (c *Client) Delete(object uint32, keys []uint64) error {
-	_, err := c.expect(&wire.Msg{Type: wire.TDelete, Object: object, Keys: keys}, wire.TAck)
+	return c.DeleteCtx(context.Background(), object, keys)
+}
+
+// DeleteCtx is Delete bounded by the context's deadline.
+func (c *Client) DeleteCtx(ctx context.Context, object uint32, keys []uint64) error {
+	_, err := c.expect(ctx, &wire.Msg{Type: wire.TDelete, Object: object, Keys: keys}, wire.TAck)
 	return err
 }
 
@@ -275,7 +437,12 @@ type ScanAggregate struct {
 
 // ScanRange aggregates index values in [lo, hi] matching pred.
 func (c *Client) ScanRange(object uint32, lo, hi uint64, pred colstore.Predicate) (ScanAggregate, error) {
-	m, err := c.expect(&wire.Msg{Type: wire.TScan, Object: object, Lo: lo, Hi: hi, Pred: pred}, wire.TAgg)
+	return c.ScanRangeCtx(context.Background(), object, lo, hi, pred)
+}
+
+// ScanRangeCtx is ScanRange bounded by the context's deadline.
+func (c *Client) ScanRangeCtx(ctx context.Context, object uint32, lo, hi uint64, pred colstore.Predicate) (ScanAggregate, error) {
+	m, err := c.expect(ctx, &wire.Msg{Type: wire.TScan, Object: object, Lo: lo, Hi: hi, Pred: pred}, wire.TAgg)
 	if err != nil {
 		return ScanAggregate{}, err
 	}
@@ -284,10 +451,15 @@ func (c *Client) ScanRange(object uint32, lo, hi uint64, pred colstore.Predicate
 
 // ScanRows materializes up to limit matching rows of [lo, hi], sorted.
 func (c *Client) ScanRows(object uint32, lo, hi uint64, pred colstore.Predicate, limit int) ([]prefixtree.KV, error) {
+	return c.ScanRowsCtx(context.Background(), object, lo, hi, pred, limit)
+}
+
+// ScanRowsCtx is ScanRows bounded by the context's deadline.
+func (c *Client) ScanRowsCtx(ctx context.Context, object uint32, lo, hi uint64, pred colstore.Predicate, limit int) ([]prefixtree.KV, error) {
 	if limit <= 0 {
 		return nil, fmt.Errorf("client: ScanRows needs a positive limit")
 	}
-	m, err := c.expect(&wire.Msg{Type: wire.TScan, Object: object, Lo: lo, Hi: hi, Pred: pred, Limit: uint32(limit)}, wire.TResult)
+	m, err := c.expect(ctx, &wire.Msg{Type: wire.TScan, Object: object, Lo: lo, Hi: hi, Pred: pred, Limit: uint32(limit)}, wire.TResult)
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +468,12 @@ func (c *Client) ScanRows(object uint32, lo, hi uint64, pred colstore.Predicate,
 
 // ColScan aggregates a column object's values matching pred.
 func (c *Client) ColScan(object uint32, pred colstore.Predicate) (ScanAggregate, error) {
-	m, err := c.expect(&wire.Msg{Type: wire.TColScan, Object: object, Pred: pred}, wire.TAgg)
+	return c.ColScanCtx(context.Background(), object, pred)
+}
+
+// ColScanCtx is ColScan bounded by the context's deadline.
+func (c *Client) ColScanCtx(ctx context.Context, object uint32, pred colstore.Predicate) (ScanAggregate, error) {
+	m, err := c.expect(ctx, &wire.Msg{Type: wire.TColScan, Object: object, Pred: pred}, wire.TAgg)
 	if err != nil {
 		return ScanAggregate{}, err
 	}

@@ -110,6 +110,11 @@ type Command struct {
 	Source  uint32 // issuing AEU
 	ReplyTo int32  // AEU to route results to; NoReply for none
 	Tag     uint64 // correlation id for callbacks
+	// Deadline is the absolute expiry of the request that issued this
+	// command, in unix nanoseconds; zero means no deadline. It rides the
+	// header so forwarding and deferral across rebalance cycles preserve
+	// it, letting AEUs expire stale work instead of retrying forever.
+	Deadline uint64
 
 	// Keys is the lookup batch, or [lo, hi] bounds for an index range scan.
 	Keys []uint64
@@ -128,7 +133,7 @@ type Command struct {
 	Fetch *Fetch
 }
 
-const headerBytes = 1 + 4 + 4 + 4 + 8 + 4 // op, object, source, replyTo, tag, payload len
+const headerBytes = 1 + 4 + 4 + 4 + 8 + 8 + 4 // op, object, source, replyTo, tag, deadline, payload len
 
 // EncodedSize returns the exact number of bytes AppendEncode will add.
 func (c *Command) EncodedSize() int {
@@ -184,6 +189,7 @@ func (c *Command) AppendEncode(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, c.Source)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.ReplyTo))
 	buf = binary.LittleEndian.AppendUint64(buf, c.Tag)
+	buf = binary.LittleEndian.AppendUint64(buf, c.Deadline)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.payloadSize()))
 	switch c.Op {
 	case OpLookup, OpDelete:

@@ -71,13 +71,14 @@ func decodeInto(c *Command, buf []byte, d *Decoder) (int, error) {
 		return 0, fmt.Errorf("%w: %d", ErrBadOp, buf[0])
 	}
 	*c = Command{
-		Op:      op,
-		Object:  binary.LittleEndian.Uint32(buf[1:]),
-		Source:  binary.LittleEndian.Uint32(buf[5:]),
-		ReplyTo: int32(binary.LittleEndian.Uint32(buf[9:])),
-		Tag:     binary.LittleEndian.Uint64(buf[13:]),
+		Op:       op,
+		Object:   binary.LittleEndian.Uint32(buf[1:]),
+		Source:   binary.LittleEndian.Uint32(buf[5:]),
+		ReplyTo:  int32(binary.LittleEndian.Uint32(buf[9:])),
+		Tag:      binary.LittleEndian.Uint64(buf[13:]),
+		Deadline: binary.LittleEndian.Uint64(buf[21:]),
 	}
-	plen := int(binary.LittleEndian.Uint32(buf[21:]))
+	plen := int(binary.LittleEndian.Uint32(buf[29:]))
 	if len(buf) < headerBytes+plen {
 		return 0, ErrTruncated
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -18,6 +19,12 @@ import (
 // with the AEU loops, and new calls are refused.
 var ErrClosed = errors.New("core: engine closed")
 
+// ErrDeadlineExceeded is returned by synchronous client calls whose
+// context deadline passed before every partition answered, and by calls
+// whose commands expired inside the engine (for example while deferred
+// across a rebalance cycle).
+var ErrDeadlineExceeded = errors.New("core: deadline exceeded")
+
 // pendingOp tracks one synchronous client request across the AEUs serving
 // its pieces. Accounting is per request key (per scan command for scans),
 // not per reply: a command that splits into an applied part and a forwarded
@@ -32,13 +39,22 @@ type pendingOp struct {
 }
 
 // deliverClientResult is installed as every AEU's client callback. kvs may
-// alias AEU scratch, so each reply is copied before it is retained.
-func (e *Engine) deliverClientResult(tag uint64, from uint32, kvs []prefixtree.KV, answered int) {
+// alias AEU scratch, so each reply is copied before it is retained. A
+// non-nil err marks the answered portion as failed (today: expired at the
+// AEU); the operation still waits for its remaining replies but completes
+// with the first error it saw.
+func (e *Engine) deliverClientResult(tag uint64, from uint32, kvs []prefixtree.KV, answered int, err error) {
 	e.clientMu.Lock()
 	defer e.clientMu.Unlock()
 	p := e.pending[tag]
 	if p == nil {
 		return // late result after timeout or shutdown
+	}
+	if err != nil && p.err == nil {
+		if errors.Is(err, aeu.ErrExpired) {
+			err = fmt.Errorf("%w: %v", ErrDeadlineExceeded, err)
+		}
+		p.err = err
 	}
 	if len(kvs) > 0 {
 		p.replies = append(p.replies, append([]prefixtree.KV(nil), kvs...))
@@ -85,9 +101,24 @@ func (e *Engine) failPending() {
 // so a stall means a bug, not a slow network.
 const clientTimeout = 30 * time.Second
 
+// deadlineOf returns ctx's deadline as absolute unix nanoseconds for
+// command headers; zero when ctx has none.
+func deadlineOf(ctx context.Context) uint64 {
+	if d, ok := ctx.Deadline(); ok {
+		return uint64(d.UnixNano())
+	}
+	return 0
+}
+
 // Lookup synchronously looks up keys in an index object and returns the
 // found pairs. The engine must be started.
 func (e *Engine) Lookup(id routing.ObjectID, keys []uint64) ([]prefixtree.KV, error) {
+	return e.LookupCtx(context.Background(), id, keys)
+}
+
+// LookupCtx is Lookup bounded by ctx: its deadline rides the issued
+// commands (so the AEUs can expire deferred work) and cancels the wait.
+func (e *Engine) LookupCtx(ctx context.Context, id routing.ObjectID, keys []uint64) ([]prefixtree.KV, error) {
 	if !e.started {
 		return nil, fmt.Errorf("core: Lookup before Start")
 	}
@@ -114,10 +145,10 @@ func (e *Engine) Lookup(id routing.ObjectID, keys []uint64) ([]prefixtree.KV, er
 	for owner, ks := range byOwner {
 		e.router.Inject(owner, &command.Command{
 			Op: command.OpLookup, Object: uint32(id), Source: owner,
-			ReplyTo: aeu.ClientReply, Tag: tag, Keys: ks,
+			ReplyTo: aeu.ClientReply, Tag: tag, Keys: ks, Deadline: deadlineOf(ctx),
 		})
 	}
-	if err := e.await(p, tag); err != nil {
+	if err := e.await(ctx, p, tag); err != nil {
 		return nil, err
 	}
 	out := flatten(p.replies)
@@ -127,6 +158,11 @@ func (e *Engine) Lookup(id routing.ObjectID, keys []uint64) ([]prefixtree.KV, er
 
 // Upsert synchronously inserts or overwrites pairs in an index object.
 func (e *Engine) Upsert(id routing.ObjectID, kvs []prefixtree.KV) error {
+	return e.UpsertCtx(context.Background(), id, kvs)
+}
+
+// UpsertCtx is Upsert bounded by ctx; see LookupCtx.
+func (e *Engine) UpsertCtx(ctx context.Context, id routing.ObjectID, kvs []prefixtree.KV) error {
 	if !e.started {
 		return fmt.Errorf("core: Upsert before Start")
 	}
@@ -152,15 +188,20 @@ func (e *Engine) Upsert(id routing.ObjectID, kvs []prefixtree.KV) error {
 	for owner, part := range byOwner {
 		e.router.Inject(owner, &command.Command{
 			Op: command.OpUpsert, Object: uint32(id), Source: owner,
-			ReplyTo: aeu.ClientReply, Tag: tag, KVs: part,
+			ReplyTo: aeu.ClientReply, Tag: tag, KVs: part, Deadline: deadlineOf(ctx),
 		})
 	}
-	return e.await(p, tag)
+	return e.await(ctx, p, tag)
 }
 
 // Delete synchronously removes keys from an index object; keys that are
 // not present are ignored.
 func (e *Engine) Delete(id routing.ObjectID, keys []uint64) error {
+	return e.DeleteCtx(context.Background(), id, keys)
+}
+
+// DeleteCtx is Delete bounded by ctx; see LookupCtx.
+func (e *Engine) DeleteCtx(ctx context.Context, id routing.ObjectID, keys []uint64) error {
 	if !e.started {
 		return fmt.Errorf("core: Delete before Start")
 	}
@@ -186,10 +227,10 @@ func (e *Engine) Delete(id routing.ObjectID, keys []uint64) error {
 	for owner, ks := range byOwner {
 		e.router.Inject(owner, &command.Command{
 			Op: command.OpDelete, Object: uint32(id), Source: owner,
-			ReplyTo: aeu.ClientReply, Tag: tag, Keys: ks,
+			ReplyTo: aeu.ClientReply, Tag: tag, Keys: ks, Deadline: deadlineOf(ctx),
 		})
 	}
-	return e.await(p, tag)
+	return e.await(ctx, p, tag)
 }
 
 // ScanAggregate is the result of a synchronous scan: how many values
@@ -203,6 +244,11 @@ type ScanAggregate struct {
 // across all partitions. Index objects delegate to ScanRange over the full
 // domain, so they share its exactness guarantee under active balancing.
 func (e *Engine) Scan(id routing.ObjectID, pred colstore.Predicate) (ScanAggregate, error) {
+	return e.ScanCtx(context.Background(), id, pred)
+}
+
+// ScanCtx is Scan bounded by ctx; see LookupCtx.
+func (e *Engine) ScanCtx(ctx context.Context, id routing.ObjectID, pred colstore.Predicate) (ScanAggregate, error) {
 	var agg ScanAggregate
 	if !e.started {
 		return agg, fmt.Errorf("core: Scan before Start")
@@ -212,7 +258,7 @@ func (e *Engine) Scan(id routing.ObjectID, pred colstore.Predicate) (ScanAggrega
 		return agg, fmt.Errorf("core: unknown object %d", id)
 	}
 	if meta.kind == routing.RangePartitioned {
-		return e.ScanRange(id, 0, meta.domain-1, pred)
+		return e.ScanRangeCtx(ctx, id, 0, meta.domain-1, pred)
 	}
 	targets := e.router.Holders(id, nil)
 	if len(targets) == 0 {
@@ -225,10 +271,10 @@ func (e *Engine) Scan(id routing.ObjectID, pred colstore.Predicate) (ScanAggrega
 	for _, owner := range targets {
 		e.router.Inject(owner, &command.Command{
 			Op: command.OpScan, Object: uint32(id), Source: owner,
-			ReplyTo: aeu.ClientReply, Tag: tag, Pred: pred,
+			ReplyTo: aeu.ClientReply, Tag: tag, Pred: pred, Deadline: deadlineOf(ctx),
 		})
 	}
-	if err := e.await(p, tag); err != nil {
+	if err := e.await(ctx, p, tag); err != nil {
 		return agg, err
 	}
 	for _, kvs := range p.replies {
@@ -255,6 +301,12 @@ const (
 // interval it actually inspected, and the scan is re-issued until the
 // intervals tile the requested range exactly (no gap, no double count).
 func (e *Engine) ScanRange(id routing.ObjectID, lo, hi uint64, pred colstore.Predicate) (ScanAggregate, error) {
+	return e.ScanRangeCtx(context.Background(), id, lo, hi, pred)
+}
+
+// ScanRangeCtx is ScanRange bounded by ctx; see LookupCtx. The cover-retry
+// loop also stops at the deadline instead of burning its full retry budget.
+func (e *Engine) ScanRangeCtx(ctx context.Context, id routing.ObjectID, lo, hi uint64, pred colstore.Predicate) (ScanAggregate, error) {
 	var agg ScanAggregate
 	if !e.started {
 		return agg, fmt.Errorf("core: ScanRange before Start")
@@ -270,20 +322,24 @@ func (e *Engine) ScanRange(id routing.ObjectID, lo, hi uint64, pred colstore.Pre
 		return agg, nil
 	}
 	for attempt := 0; ; attempt++ {
-		agg, covered, err := e.scanRangeOnce(id, lo, hi, pred)
+		agg, covered, err := e.scanRangeOnce(ctx, id, lo, hi, pred)
 		if err != nil || covered {
 			return agg, err
 		}
 		if attempt >= scanCoverRetries {
 			return agg, fmt.Errorf("core: range scan over [%d, %d] found no consistent cover in %d attempts", lo, hi, attempt+1)
 		}
-		time.Sleep(scanCoverBackoff)
+		select {
+		case <-ctx.Done():
+			return agg, fmt.Errorf("core: range scan over [%d, %d]: %w", lo, hi, ErrDeadlineExceeded)
+		case <-time.After(scanCoverBackoff):
+		}
 	}
 }
 
 // scanRangeOnce issues one multicast range scan and reports whether the
 // reply coverage tiled [lo, hi] exactly; only then is agg trustworthy.
-func (e *Engine) scanRangeOnce(id routing.ObjectID, lo, hi uint64, pred colstore.Predicate) (ScanAggregate, bool, error) {
+func (e *Engine) scanRangeOnce(ctx context.Context, id routing.ObjectID, lo, hi uint64, pred colstore.Predicate) (ScanAggregate, bool, error) {
 	var agg ScanAggregate
 	targets := e.rangeTargets(id)
 	if len(targets) == 0 {
@@ -297,9 +353,10 @@ func (e *Engine) scanRangeOnce(id routing.ObjectID, lo, hi uint64, pred colstore
 		e.router.Inject(owner, &command.Command{
 			Op: command.OpScan, Object: uint32(id), Source: owner,
 			ReplyTo: aeu.ClientReply, Tag: tag, Pred: pred, Keys: []uint64{lo, hi},
+			Deadline: deadlineOf(ctx),
 		})
 	}
-	if err := e.await(p, tag); err != nil {
+	if err := e.await(ctx, p, tag); err != nil {
 		return agg, false, err
 	}
 	var cover []prefixtree.KV // Key=lo, Value=hi of one inspected interval
@@ -351,6 +408,11 @@ func (e *Engine) rangeTargets(id routing.ObjectID) []uint32 {
 // mode is best effort while a balancing step is in flight: rows of a range
 // whose transfer has not landed yet may be missing from the result.
 func (e *Engine) ScanRangeRows(id routing.ObjectID, lo, hi uint64, pred colstore.Predicate, limit int) ([]prefixtree.KV, error) {
+	return e.ScanRangeRowsCtx(context.Background(), id, lo, hi, pred, limit)
+}
+
+// ScanRangeRowsCtx is ScanRangeRows bounded by ctx; see LookupCtx.
+func (e *Engine) ScanRangeRowsCtx(ctx context.Context, id routing.ObjectID, lo, hi uint64, pred colstore.Predicate, limit int) ([]prefixtree.KV, error) {
 	if !e.started {
 		return nil, fmt.Errorf("core: ScanRangeRows before Start")
 	}
@@ -373,10 +435,10 @@ func (e *Engine) ScanRangeRows(id routing.ObjectID, lo, hi uint64, pred colstore
 		e.router.Inject(owner, &command.Command{
 			Op: command.OpScan, Object: uint32(id), Source: owner,
 			ReplyTo: aeu.ClientReply, Tag: tag, Pred: pred,
-			Keys: []uint64{lo, hi}, Limit: uint32(limit),
+			Keys: []uint64{lo, hi}, Limit: uint32(limit), Deadline: deadlineOf(ctx),
 		})
 	}
-	if err := e.await(p, tag); err != nil {
+	if err := e.await(ctx, p, tag); err != nil {
 		return nil, err
 	}
 	rows := flatten(p.replies)
@@ -399,10 +461,16 @@ func flatten(replies [][]prefixtree.KV) []prefixtree.KV {
 	return out
 }
 
-func (e *Engine) await(p *pendingOp, tag uint64) error {
+func (e *Engine) await(ctx context.Context, p *pendingOp, tag uint64) error {
 	select {
 	case <-p.done:
 		return p.err
+	case <-ctx.Done():
+		e.cancelPending(tag)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return fmt.Errorf("core: client request %d: %w", tag, ErrDeadlineExceeded)
+		}
+		return ctx.Err()
 	case <-time.After(clientTimeout):
 		e.cancelPending(tag)
 		return fmt.Errorf("core: client request %d timed out", tag)

@@ -161,18 +161,31 @@ const sortedRouteMinKeys = 16
 // merge; the virtual cost charged is RouteNSPerKey per key either way, so
 // simulated results do not depend on the resolution strategy.
 func (o *Outbox) RouteLookup(obj ObjectID, keys []uint64, replyTo int32, tag uint64) int {
-	return o.routeKeyBatch(command.OpLookup, obj, keys, replyTo, tag)
+	return o.routeKeyBatch(command.OpLookup, obj, keys, replyTo, tag, 0)
+}
+
+// RouteLookupDeadline is RouteLookup with a request deadline (absolute
+// unix nanoseconds, 0 = none) stamped on the routed commands, so a
+// forwarded batch keeps its issuer's time budget.
+func (o *Outbox) RouteLookupDeadline(obj ObjectID, keys []uint64, replyTo int32, tag, deadline uint64) int {
+	return o.routeKeyBatch(command.OpLookup, obj, keys, replyTo, tag, deadline)
 }
 
 // RouteDelete splits a key batch by owner and routes per-owner delete
 // commands, chunked like RouteLookup.
 func (o *Outbox) RouteDelete(obj ObjectID, keys []uint64, replyTo int32, tag uint64) int {
-	return o.routeKeyBatch(command.OpDelete, obj, keys, replyTo, tag)
+	return o.routeKeyBatch(command.OpDelete, obj, keys, replyTo, tag, 0)
+}
+
+// RouteDeleteDeadline is RouteDelete with a request deadline; see
+// RouteLookupDeadline.
+func (o *Outbox) RouteDeleteDeadline(obj ObjectID, keys []uint64, replyTo int32, tag, deadline uint64) int {
+	return o.routeKeyBatch(command.OpDelete, obj, keys, replyTo, tag, deadline)
 }
 
 // routeKeyBatch is the shared owner-split/chunk body of the key-batch
 // routed operations (lookup, delete).
-func (o *Outbox) routeKeyBatch(op command.Op, obj ObjectID, keys []uint64, replyTo int32, tag uint64) int {
+func (o *Outbox) routeKeyBatch(op command.Op, obj ObjectID, keys []uint64, replyTo int32, tag, deadline uint64) int {
 	table := o.r.object(obj).ranged
 	m := o.r.machine
 	m.AdvanceNS(o.core(), o.r.cfg.RouteNSPerKey*float64(len(keys)))
@@ -204,7 +217,7 @@ func (o *Outbox) routeKeyBatch(op command.Op, obj ObjectID, keys []uint64, reply
 			n := min(len(batch), o.maxLookupKeys)
 			cmd := command.Command{
 				Op: op, Object: uint32(obj), Source: o.self,
-				ReplyTo: replyTo, Tag: tag, Keys: batch[:n],
+				ReplyTo: replyTo, Tag: tag, Keys: batch[:n], Deadline: deadline,
 			}
 			o.appendCmd(to, &cmd)
 			emitted++
@@ -219,6 +232,12 @@ func (o *Outbox) routeKeyBatch(op command.Op, obj ObjectID, keys []uint64, reply
 // chunked like RouteLookup. The sort used for batch owner resolution is
 // stable, so duplicate keys keep their last-write-wins order.
 func (o *Outbox) RouteUpsert(obj ObjectID, kvs []prefixtree.KV, replyTo int32, tag uint64) int {
+	return o.RouteUpsertDeadline(obj, kvs, replyTo, tag, 0)
+}
+
+// RouteUpsertDeadline is RouteUpsert with a request deadline; see
+// RouteLookupDeadline.
+func (o *Outbox) RouteUpsertDeadline(obj ObjectID, kvs []prefixtree.KV, replyTo int32, tag, deadline uint64) int {
 	table := o.r.object(obj).ranged
 	m := o.r.machine
 	m.AdvanceNS(o.core(), o.r.cfg.RouteNSPerKey*float64(len(kvs)))
@@ -266,7 +285,7 @@ func (o *Outbox) RouteUpsert(obj ObjectID, kvs []prefixtree.KV, replyTo int32, t
 			n := min(len(batch), o.maxUpsertKVs)
 			cmd := command.Command{
 				Op: command.OpUpsert, Object: uint32(obj), Source: o.self,
-				ReplyTo: replyTo, Tag: tag, KVs: batch[:n],
+				ReplyTo: replyTo, Tag: tag, KVs: batch[:n], Deadline: deadline,
 			}
 			o.appendCmd(to, &cmd)
 			emitted++

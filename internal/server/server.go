@@ -18,6 +18,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -37,6 +38,19 @@ type Options struct {
 	// (default 64). Beyond it the connection's reader stalls, pushing back
 	// on the client through TCP flow control.
 	MaxInFlight int
+	// GlobalInFlight bounds concurrently executing requests across ALL
+	// connections (default 1024) — the admission-control budget. Requests
+	// beyond it wait in a bounded queue or are shed with an overloaded
+	// error instead of piling up in the engine.
+	GlobalInFlight int
+	// MaxQueue bounds how many admitted-but-waiting requests may queue for
+	// a global slot (default GlobalInFlight). Beyond it requests are shed
+	// immediately.
+	MaxQueue int
+	// DefaultDeadline, when non-zero, is applied to every request that
+	// carries no deadline of its own (version 1 clients, version 2 clients
+	// sending DeadlineUS = 0).
+	DefaultDeadline time.Duration
 	// HandshakeTimeout bounds how long a fresh connection may take to send
 	// its Hello (default 5s).
 	HandshakeTimeout time.Duration
@@ -48,6 +62,12 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.MaxInFlight == 0 {
 		o.MaxInFlight = 64
+	}
+	if o.GlobalInFlight == 0 {
+		o.GlobalInFlight = 1024
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = o.GlobalInFlight
 	}
 	if o.HandshakeTimeout == 0 {
 		o.HandshakeTimeout = 5 * time.Second
@@ -61,6 +81,7 @@ type Server struct {
 	objects []wire.ObjectInfo
 	opts    Options
 	faults  *faults.Injector
+	admit   *admitter
 
 	ln       net.Listener
 	acceptWG sync.WaitGroup
@@ -90,11 +111,13 @@ const slowWriteDelay = 2 * time.Millisecond
 // register on the engine's metrics registry under server.*.
 func New(eng *core.Engine, objects []wire.ObjectInfo, opts Options) *Server {
 	reg := eng.Metrics()
+	opts = opts.withDefaults()
 	return &Server{
 		eng:        eng,
 		objects:    objects,
-		opts:       opts.withDefaults(),
+		opts:       opts,
 		faults:     opts.Faults,
+		admit:      newAdmitter(reg, opts.GlobalInFlight, opts.MaxQueue),
 		conns:      make(map[*conn]struct{}),
 		accepted:   reg.Counter("server.accepted"),
 		active:     reg.Gauge("server.active_conns"),
@@ -210,6 +233,9 @@ type conn struct {
 	handlers sync.WaitGroup
 	aborted  chan struct{} // closed by abort(); unblocks queued handlers
 	abortOne sync.Once
+	// version is the negotiated protocol version: min(client, server),
+	// fixed by the handshake before the reader dispatches anything.
+	version uint16
 }
 
 // stopReading makes the connection's reader return on its next read
@@ -250,6 +276,9 @@ func (c *conn) serve() {
 }
 
 // handshake reads the client's Hello and answers with the object table.
+// The Welcome carries the negotiated protocol version — min(client,
+// server) — which both sides then frame with; a version 1 client keeps
+// speaking exactly the protocol it always did.
 func (c *conn) handshake() error {
 	c.nc.SetReadDeadline(time.Now().Add(c.s.opts.HandshakeTimeout))
 	var m wire.Msg
@@ -260,10 +289,11 @@ func (c *conn) handshake() error {
 	if m.Type != wire.THello || m.Magic != wire.Magic {
 		return wire.ErrBadMagic
 	}
-	if m.Version != wire.Version {
-		return fmt.Errorf("server: protocol version %d, want %d", m.Version, wire.Version)
+	if m.Version < wire.VersionLegacy {
+		return fmt.Errorf("server: protocol version %d, want %d-%d", m.Version, wire.VersionLegacy, wire.Version)
 	}
-	welcome := wire.Msg{Type: wire.TWelcome, Version: wire.Version, Objects: c.s.objects}
+	c.version = min(m.Version, wire.Version)
+	welcome := wire.Msg{Type: wire.TWelcome, Version: c.version, Objects: c.s.objects}
 	frame, err := wire.AppendFrame(nil, &welcome)
 	if err != nil {
 		return err
@@ -281,7 +311,7 @@ func (c *conn) readLoop() {
 	for {
 		var m wire.Msg
 		var err error
-		if buf, err = wire.ReadMsg(c.nc, &m, buf); err != nil {
+		if buf, err = wire.ReadMsgV(c.nc, &m, buf, c.version); err != nil {
 			// EOF and the drain deadline are normal ends; a frame the
 			// codec rejected means the peer is corrupt — kill the
 			// connection rather than resynchronize on a byte stream.
@@ -290,6 +320,15 @@ func (c *conn) readLoop() {
 				c.abort()
 			}
 			return
+		}
+		// The request's absolute deadline: the wire field is relative to
+		// leaving the client, so its clock never needs to agree with ours.
+		arrival := time.Now()
+		var deadline time.Time
+		if m.DeadlineUS > 0 {
+			deadline = arrival.Add(time.Duration(m.DeadlineUS) * time.Microsecond)
+		} else if c.s.opts.DefaultDeadline > 0 {
+			deadline = arrival.Add(c.s.opts.DefaultDeadline)
 		}
 		select {
 		case sem <- struct{}{}:
@@ -301,7 +340,7 @@ func (c *conn) readLoop() {
 		go func(m wire.Msg) {
 			defer c.handlers.Done()
 			defer func() { <-sem }()
-			c.handle(&m)
+			c.handle(&m, arrival, deadline)
 		}(m)
 	}
 }
@@ -314,10 +353,18 @@ func isProtocolErr(err error) bool {
 		errors.Is(err, wire.ErrBadPred)
 }
 
-// handle executes one request against the engine and queues the tagged
-// response.
-func (c *conn) handle(m *wire.Msg) {
-	resp := c.execute(m)
+// handle admits one request against the global budget, executes it, and
+// queues the tagged response. Shed or expired requests are answered with
+// their typed reject code without ever touching the engine.
+func (c *conn) handle(m *wire.Msg, arrival time.Time, deadline time.Time) {
+	var resp wire.Msg
+	if err := c.s.admit.admit(arrival, deadline, c.aborted); err != nil {
+		resp = c.errMsg(err)
+	} else {
+		execStart := time.Now()
+		resp = c.execute(m, deadline)
+		c.s.admit.release(time.Since(execStart))
+	}
 	resp.Tag = m.Tag
 	if c.s.faults.Should(faults.DropConn) {
 		// Kill the connection in place of the response: the client must
@@ -326,10 +373,10 @@ func (c *conn) handle(m *wire.Msg) {
 		c.abort()
 		return
 	}
-	frame, err := wire.AppendFrame(nil, &resp)
+	frame, err := wire.AppendFrameV(nil, &resp, c.version)
 	if err != nil {
 		errMsg := wire.Msg{Type: wire.TError, Tag: m.Tag, Err: err.Error()}
-		frame, _ = wire.AppendFrame(nil, &errMsg)
+		frame, _ = wire.AppendFrameV(nil, &errMsg, c.version)
 	}
 	select {
 	case c.out <- frame:
@@ -339,40 +386,47 @@ func (c *conn) handle(m *wire.Msg) {
 }
 
 // execute maps one request onto the engine's synchronous client API. The
-// decoded batches are passed through untouched.
-func (c *conn) execute(m *wire.Msg) wire.Msg {
+// decoded batches are passed through untouched; the deadline rides a
+// context so the engine can expire work that outlives it.
+func (c *conn) execute(m *wire.Msg, deadline time.Time) wire.Msg {
+	ctx := context.Background()
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
 	switch m.Type {
 	case wire.TLookup:
-		kvs, err := c.s.eng.Lookup(routing.ObjectID(m.Object), m.Keys)
+		kvs, err := c.s.eng.LookupCtx(ctx, routing.ObjectID(m.Object), m.Keys)
 		if err != nil {
 			return c.errMsg(err)
 		}
 		return wire.Msg{Type: wire.TResult, KVs: kvs}
 	case wire.TUpsert:
-		if err := c.s.eng.Upsert(routing.ObjectID(m.Object), m.KVs); err != nil {
+		if err := c.s.eng.UpsertCtx(ctx, routing.ObjectID(m.Object), m.KVs); err != nil {
 			return c.errMsg(err)
 		}
 		return wire.Msg{Type: wire.TAck}
 	case wire.TDelete:
-		if err := c.s.eng.Delete(routing.ObjectID(m.Object), m.Keys); err != nil {
+		if err := c.s.eng.DeleteCtx(ctx, routing.ObjectID(m.Object), m.Keys); err != nil {
 			return c.errMsg(err)
 		}
 		return wire.Msg{Type: wire.TAck}
 	case wire.TScan:
 		if m.Limit > 0 {
-			rows, err := c.s.eng.ScanRangeRows(routing.ObjectID(m.Object), m.Lo, m.Hi, m.Pred, int(m.Limit))
+			rows, err := c.s.eng.ScanRangeRowsCtx(ctx, routing.ObjectID(m.Object), m.Lo, m.Hi, m.Pred, int(m.Limit))
 			if err != nil {
 				return c.errMsg(err)
 			}
 			return wire.Msg{Type: wire.TResult, KVs: rows}
 		}
-		agg, err := c.s.eng.ScanRange(routing.ObjectID(m.Object), m.Lo, m.Hi, m.Pred)
+		agg, err := c.s.eng.ScanRangeCtx(ctx, routing.ObjectID(m.Object), m.Lo, m.Hi, m.Pred)
 		if err != nil {
 			return c.errMsg(err)
 		}
 		return wire.Msg{Type: wire.TAgg, Matched: agg.Matched, Sum: agg.Sum}
 	case wire.TColScan:
-		agg, err := c.s.eng.Scan(routing.ObjectID(m.Object), m.Pred)
+		agg, err := c.s.eng.ScanCtx(ctx, routing.ObjectID(m.Object), m.Pred)
 		if err != nil {
 			return c.errMsg(err)
 		}
@@ -384,7 +438,20 @@ func (c *conn) execute(m *wire.Msg) wire.Msg {
 
 func (c *conn) errMsg(err error) wire.Msg {
 	c.s.errors.Inc()
-	return wire.Msg{Type: wire.TError, Err: err.Error()}
+	return wire.Msg{Type: wire.TError, Err: err.Error(), Code: rejectCode(err)}
+}
+
+// rejectCode classifies an error into the wire reject code its TError
+// carries (meaningful on version ≥ 2; harmless on version 1, whose frames
+// drop the byte).
+func rejectCode(err error) uint8 {
+	switch {
+	case errors.Is(err, wire.ErrOverloaded):
+		return wire.CodeOverloaded
+	case errors.Is(err, wire.ErrDeadlineExceeded), errors.Is(err, core.ErrDeadlineExceeded):
+		return wire.CodeDeadlineExceeded
+	}
+	return wire.CodeGeneric
 }
 
 // writeLoop owns the socket's write side: it serializes queued response

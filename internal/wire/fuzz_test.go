@@ -17,23 +17,34 @@ func FuzzWireDecode(f *testing.F) {
 		}
 		f.Add(frame[4:])
 	}
+	for _, m := range sampleMsgsV2() {
+		frame, err := AppendFrameV(nil, &m, Version)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
 	f.Add([]byte{})
 	f.Add([]byte{byte(TAck), 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		var m Msg
-		if err := DecodeMsg(&m, data); err != nil {
-			return
-		}
-		frame, err := AppendFrame(nil, &m)
-		if err != nil {
-			t.Fatalf("decoded message failed to encode: %v\nmsg: %+v", err, m)
-		}
-		var again Msg
-		if err := DecodeMsg(&again, frame[4:]); err != nil {
-			t.Fatalf("re-encoded message failed to decode: %v\nmsg: %+v", err, m)
-		}
-		if !reflect.DeepEqual(m, again) {
-			t.Fatalf("round trip mismatch:\n first  %+v\n second %+v", m, again)
+		// The same bytes must hold the contract under both negotiated
+		// versions: never panic, and round-trip exactly when they decode.
+		for _, v := range []uint16{VersionLegacy, Version} {
+			var m Msg
+			if err := DecodeMsgV(&m, data, v); err != nil {
+				continue
+			}
+			frame, err := AppendFrameV(nil, &m, v)
+			if err != nil {
+				t.Fatalf("v%d: decoded message failed to encode: %v\nmsg: %+v", v, err, m)
+			}
+			var again Msg
+			if err := DecodeMsgV(&again, frame[4:], v); err != nil {
+				t.Fatalf("v%d: re-encoded message failed to decode: %v\nmsg: %+v", v, err, m)
+			}
+			if !reflect.DeepEqual(m, again) {
+				t.Fatalf("v%d: round trip mismatch:\n first  %+v\n second %+v", v, m, again)
+			}
 		}
 	})
 }

@@ -28,8 +28,16 @@ import (
 const (
 	// Magic opens every Hello: "ERIS" read as a little-endian u32.
 	Magic uint32 = 0x53495245
-	// Version is the protocol version this package speaks.
-	Version uint16 = 1
+	// VersionLegacy is protocol version 1: no deadline field, no error
+	// codes. Still spoken to old peers after negotiation.
+	VersionLegacy uint16 = 1
+	// Version is the newest protocol version this package speaks. Version 2
+	// adds a relative-deadline field to every non-handshake header and a
+	// reject-code byte to TError bodies. The handshake itself (Hello and
+	// Welcome) is always framed as version 1 so peers can negotiate before
+	// either side knows the other's version; both sides then speak
+	// min(client, server).
+	Version uint16 = 2
 	// MaxFrame bounds a frame payload; a peer announcing more is corrupt
 	// (or hostile) and the connection is dropped before allocating.
 	MaxFrame = 1 << 20
@@ -112,12 +120,30 @@ const (
 	KindColumn uint8 = 1
 )
 
+// Error codes carried by version ≥ 2 TError bodies, so clients can react
+// to a rejection without parsing the message text.
+const (
+	// CodeGeneric is an unclassified failure; retrying is pointless.
+	CodeGeneric uint8 = 0
+	// CodeOverloaded means admission control shed the request before it ran;
+	// the request had no effect and retrying with backoff is safe.
+	CodeOverloaded uint8 = 1
+	// CodeDeadlineExceeded means the request's deadline passed before it
+	// completed; it may or may not have had an effect.
+	CodeDeadlineExceeded uint8 = 2
+)
+
 // Msg is one decoded wire message; which fields are meaningful depends on
 // Type. A single struct (instead of one type per message) keeps the
 // codec's hot path free of interface allocations.
 type Msg struct {
 	Type Type
 	Tag  uint64
+
+	// DeadlineUS is the request's remaining time budget in microseconds
+	// when it left the sender; zero means no deadline. Carried by every
+	// non-handshake header on version ≥ 2 connections, absent on version 1.
+	DeadlineUS uint32
 
 	// Hello / Welcome.
 	Magic   uint32
@@ -136,6 +162,9 @@ type Msg struct {
 	Matched uint64
 	Sum     uint64
 	Err     string
+	// Code classifies a TError (CodeGeneric, CodeOverloaded,
+	// CodeDeadlineExceeded); version ≥ 2 only, always CodeGeneric on v1.
+	Code uint8
 }
 
 // Decode errors.
@@ -149,17 +178,42 @@ var (
 	ErrTooLong   = errors.New("wire: string too long")
 )
 
-const headerBytes = 1 + 8 // type, tag
+// Typed request rejections, surfaced to callers via errors.Is so overload
+// handling doesn't depend on message text.
+var (
+	// ErrOverloaded is the decoded form of a CodeOverloaded TError: the
+	// server shed the request before executing it.
+	ErrOverloaded = errors.New("wire: server overloaded")
+	// ErrDeadlineExceeded is the decoded form of a CodeDeadlineExceeded
+	// TError: the request's deadline expired before it completed.
+	ErrDeadlineExceeded = errors.New("wire: deadline exceeded")
+)
 
-// AppendFrame appends the framed encoding of m (length prefix included) to
-// buf and returns the extended slice.
+const headerBytes = 1 + 8 // type, tag (+ 4-byte deadline on v2 data frames)
+
+// handshakeType reports whether t is framed version-1 regardless of the
+// negotiated version: the handshake happens before negotiation completes.
+func handshakeType(t Type) bool { return t == THello || t == TWelcome }
+
+// AppendFrame appends the version-1 framed encoding of m (length prefix
+// included) to buf and returns the extended slice.
 func AppendFrame(buf []byte, m *Msg) ([]byte, error) {
+	return AppendFrameV(buf, m, VersionLegacy)
+}
+
+// AppendFrameV appends the framed encoding of m for the given negotiated
+// protocol version. On version ≥ 2, non-handshake headers carry
+// m.DeadlineUS and TError bodies carry m.Code.
+func AppendFrameV(buf []byte, m *Msg, version uint16) ([]byte, error) {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // length patched below
 	buf = append(buf, byte(m.Type))
 	buf = binary.LittleEndian.AppendUint64(buf, m.Tag)
+	if version >= 2 && !handshakeType(m.Type) {
+		buf = binary.LittleEndian.AppendUint32(buf, m.DeadlineUS)
+	}
 	var err error
-	if buf, err = appendBody(buf, m); err != nil {
+	if buf, err = appendBody(buf, m, version); err != nil {
 		return buf[:start], err
 	}
 	n := len(buf) - start - 4
@@ -170,7 +224,7 @@ func AppendFrame(buf []byte, m *Msg) ([]byte, error) {
 	return buf, nil
 }
 
-func appendBody(buf []byte, m *Msg) ([]byte, error) {
+func appendBody(buf []byte, m *Msg, version uint16) ([]byte, error) {
 	switch m.Type {
 	case THello:
 		buf = binary.LittleEndian.AppendUint32(buf, m.Magic)
@@ -232,6 +286,9 @@ func appendBody(buf []byte, m *Msg) ([]byte, error) {
 		if len(m.Err) > 0xffff {
 			return buf, ErrTooLong
 		}
+		if version >= 2 {
+			buf = append(buf, m.Code)
+		}
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Err)))
 		buf = append(buf, m.Err...)
 	default:
@@ -240,10 +297,16 @@ func appendBody(buf []byte, m *Msg) ([]byte, error) {
 	return buf, nil
 }
 
-// DecodeMsg parses one frame payload (without the length prefix) into m.
-// It is strict: the payload must contain exactly one well-formed message.
-// All decoded slices are freshly allocated, never aliases of p.
+// DecodeMsg parses one version-1 frame payload (without the length prefix)
+// into m. It is strict: the payload must contain exactly one well-formed
+// message. All decoded slices are freshly allocated, never aliases of p.
 func DecodeMsg(m *Msg, p []byte) error {
+	return DecodeMsgV(m, p, VersionLegacy)
+}
+
+// DecodeMsgV parses one frame payload for the given negotiated protocol
+// version. Handshake messages are always parsed as version 1.
+func DecodeMsgV(m *Msg, p []byte, version uint16) error {
 	if len(p) < headerBytes {
 		return ErrTruncated
 	}
@@ -253,6 +316,13 @@ func DecodeMsg(m *Msg, p []byte) error {
 	}
 	*m = Msg{Type: t, Tag: binary.LittleEndian.Uint64(p[1:])}
 	b := p[headerBytes:]
+	if version >= 2 && !handshakeType(t) {
+		if len(b) < 4 {
+			return ErrTruncated
+		}
+		m.DeadlineUS = binary.LittleEndian.Uint32(b)
+		b = b[4:]
+	}
 	switch t {
 	case THello:
 		if len(b) != 4+2 {
@@ -357,6 +427,13 @@ func DecodeMsg(m *Msg, p []byte) error {
 		m.Matched = binary.LittleEndian.Uint64(b)
 		m.Sum = binary.LittleEndian.Uint64(b[8:])
 	case TError:
+		if version >= 2 {
+			if len(b) < 1 {
+				return ErrTruncated
+			}
+			m.Code = b[0]
+			b = b[1:]
+		}
 		if len(b) < 2 {
 			return ErrTruncated
 		}
@@ -422,12 +499,48 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
 	return buf, buf, nil
 }
 
-// ReadMsg reads and decodes one frame from r; buf is the reusable read
-// buffer, returned (possibly grown) for the next call.
+// ReadMsg reads and decodes one version-1 frame from r; buf is the
+// reusable read buffer, returned (possibly grown) for the next call.
 func ReadMsg(r io.Reader, m *Msg, buf []byte) ([]byte, error) {
+	return ReadMsgV(r, m, buf, VersionLegacy)
+}
+
+// ErrFromMsg converts a decoded TError into a Go error, mapping known
+// reject codes onto their sentinels so callers can errors.Is on them.
+func ErrFromMsg(m *Msg) error {
+	var sentinel error
+	switch m.Code {
+	case CodeOverloaded:
+		sentinel = ErrOverloaded
+	case CodeDeadlineExceeded:
+		sentinel = ErrDeadlineExceeded
+	default:
+		return errors.New(m.Err)
+	}
+	if m.Err == "" {
+		return sentinel
+	}
+	return fmt.Errorf("%w: %s", sentinel, m.Err)
+}
+
+// CodeForErr classifies err into the wire reject code a TError should
+// carry.
+func CodeForErr(err error) uint8 {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrDeadlineExceeded):
+		return CodeDeadlineExceeded
+	}
+	return CodeGeneric
+}
+
+// ReadMsgV reads and decodes one frame from r using the given negotiated
+// protocol version.
+func ReadMsgV(r io.Reader, m *Msg, buf []byte, version uint16) ([]byte, error) {
 	p, buf, err := ReadFrame(r, buf)
 	if err != nil {
 		return buf, err
 	}
-	return buf, DecodeMsg(m, p)
+	return buf, DecodeMsgV(m, p, version)
 }

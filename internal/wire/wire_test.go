@@ -53,6 +53,112 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// sampleMsgsV2 is the v2 corpus: the v1 samples plus deadline-carrying
+// requests and coded errors, which only exist on version ≥ 2 frames.
+func sampleMsgsV2() []Msg {
+	msgs := sampleMsgs()
+	for i := range msgs {
+		if !handshakeType(msgs[i].Type) {
+			msgs[i].DeadlineUS = uint32(1000 * (i + 1))
+		}
+	}
+	return append(msgs,
+		Msg{Type: TError, Tag: 14, Code: CodeOverloaded, Err: "server overloaded", DeadlineUS: 500},
+		Msg{Type: TError, Tag: 15, Code: CodeDeadlineExceeded, Err: "deadline exceeded"},
+	)
+}
+
+func TestRoundTripV2(t *testing.T) {
+	for _, m := range sampleMsgsV2() {
+		frame, err := AppendFrameV(nil, &m, Version)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", m.Type, err)
+		}
+		var got Msg
+		if err := DecodeMsgV(&got, frame[4:], Version); err != nil {
+			t.Fatalf("%v: decode: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%v: v2 round trip mismatch:\n sent %+v\n got  %+v", m.Type, m, got)
+		}
+	}
+}
+
+// TestHandshakeFramingIsVersionless pins the negotiation invariant: Hello
+// and Welcome encode identically no matter what version the encoder was
+// asked for, so a v2 client's handshake is readable by a v1 server and
+// vice versa.
+func TestHandshakeFramingIsVersionless(t *testing.T) {
+	for _, m := range []Msg{
+		{Type: THello, Magic: Magic, Version: Version},
+		{Type: TWelcome, Version: Version, Objects: []ObjectInfo{{ID: 1, Kind: KindIndex, Domain: 64, Name: "kv"}}},
+	} {
+		v1, err := AppendFrame(nil, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := AppendFrameV(nil, &m, Version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(v1, v2) {
+			t.Fatalf("%v: handshake framing differs between versions:\n v1 %x\n v2 %x", m.Type, v1, v2)
+		}
+	}
+}
+
+func TestErrCodeMapping(t *testing.T) {
+	cases := []struct {
+		msg  Msg
+		want error
+	}{
+		{Msg{Type: TError, Code: CodeOverloaded, Err: "busy"}, ErrOverloaded},
+		{Msg{Type: TError, Code: CodeOverloaded}, ErrOverloaded},
+		{Msg{Type: TError, Code: CodeDeadlineExceeded, Err: "late"}, ErrDeadlineExceeded},
+	}
+	for _, tc := range cases {
+		err := ErrFromMsg(&tc.msg)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("code %d: err %v does not match %v", tc.msg.Code, err, tc.want)
+		}
+		if CodeForErr(err) != tc.msg.Code {
+			t.Errorf("CodeForErr(%v) = %d, want %d", err, CodeForErr(err), tc.msg.Code)
+		}
+	}
+	generic := ErrFromMsg(&Msg{Type: TError, Err: "boom"})
+	if errors.Is(generic, ErrOverloaded) || errors.Is(generic, ErrDeadlineExceeded) {
+		t.Fatalf("generic error %v matched a typed sentinel", generic)
+	}
+	if CodeForErr(generic) != CodeGeneric {
+		t.Fatalf("CodeForErr(generic) = %d", CodeForErr(generic))
+	}
+}
+
+// TestV2DecodeRejectsTruncatedDeadline covers the bytes v2 adds: a data
+// header cut inside the deadline field, and a TError cut inside the code.
+func TestV2DecodeRejectsTruncatedDeadline(t *testing.T) {
+	frame, err := AppendFrameV(nil, &Msg{Type: TAck, Tag: 3, DeadlineUS: 77}, Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[4:]
+	var m Msg
+	if err := DecodeMsgV(&m, payload[:headerBytes+2], Version); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated deadline: err = %v, want ErrTruncated", err)
+	}
+	if err := DecodeMsgV(&m, payload[:headerBytes], Version); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("missing deadline: err = %v, want ErrTruncated", err)
+	}
+	errFrame, err := AppendFrameV(nil, &Msg{Type: TError, Tag: 4, Code: CodeOverloaded, Err: ""}, Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := errFrame[4:]
+	if err := DecodeMsgV(&m, p[:len(p)-2], Version); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated error code: err = %v, want ErrTruncated", err)
+	}
+}
+
 func TestReadMsgStream(t *testing.T) {
 	var stream []byte
 	msgs := sampleMsgs()
