@@ -48,12 +48,27 @@ func main() {
 	if err := idx.LoadDense(*keys, nil); err != nil {
 		log.Fatal(err)
 	}
+	col, err := db.CreateColumn("readings")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Clustered values (position = value) so the periodic analytical scan
+	// exercises the zone maps: its narrow predicate prunes most blocks.
+	if err := col.LoadUniform(int64(*keys/8), func(w int, i int64) uint64 {
+		return uint64(w)<<40 | uint64(i)
+	}); err != nil {
+		log.Fatal(err)
+	}
 
-	// Skewed workload: all lookups hit the first quarter of the domain.
+	// Skewed workload: all lookups hit the first quarter of the domain,
+	// with an occasional multicast column scan mixed in so the colscan
+	// frame line has block-verdict traffic to report.
 	hot := workload.HotRange{Lo: 0, Hi: *keys / 4}
 	durSec := *dur
+	scanPred := eris.PredBetween(1<<8, 1<<12)
 	db.Engine().SetGenerators(func(i int) aeu.Generator {
 		start := -1.0
+		loops := 0
 		buf := make([]uint64, 512)
 		return aeu.GeneratorFunc(func(a *aeu.AEU) bool {
 			if start < 0 {
@@ -64,6 +79,9 @@ func main() {
 			}
 			workload.FillBatch(hot, a.Rng, 0, buf)
 			a.Outbox().RouteLookup(1, buf, command.NoReply, 0)
+			if loops++; loops%16 == 0 {
+				a.Outbox().RouteScan(2, scanPred, command.NoReply, 0)
+			}
 			return true
 		})
 	})
@@ -139,6 +157,14 @@ func printFrame(db *eris.DB, prev metrics.Snapshot, epoch interface {
 		delta.SumCounters("routing.outbox.", ".routed_keys"),
 		fmtBytes(delta.Counter("machine.link_bytes_total")),
 		fmtBytes(delta.Counter("machine.mc_bytes_total")))
+	scanned := delta.SumCounters("aeu.", ".colscan.blocks_scanned")
+	pruned := delta.SumCounters("aeu.", ".colscan.blocks_pruned")
+	fullHit := delta.SumCounters("aeu.", ".colscan.blocks_full_hit")
+	if scanned+pruned+fullHit > 0 {
+		fmt.Printf("colscan: +%d blocks scanned  +%d pruned  +%d full-hit (%.0f%% untouched)\n",
+			scanned, pruned, fullHit,
+			100*float64(pruned+fullHit)/float64(scanned+pruned+fullHit))
+	}
 	if cycles := e.Balancer().Cycles(); len(cycles) > 0 {
 		last := cycles[len(cycles)-1]
 		fmt.Printf("balancer: %d cycles, last at t=%.4fs (%s, imbalance %.2f, ~%d tuples)\n",

@@ -222,7 +222,9 @@ type AEU struct {
 		validKVs    []prefixtree.KV
 		foreignKVs  []prefixtree.KV
 		replyKVs    []prefixtree.KV
-		scanAggs    []scanAgg
+		scanAggs    []colstore.ScanAgg
+		scanSpecs   []colstore.ScanSpec
+		scanScratch colstore.ScanScratch
 	}
 
 	// Counters, registered on the engine's metrics registry under
@@ -236,11 +238,13 @@ type AEU struct {
 	xferErrors  *metrics.Counter // failed fetches / dropped transfers
 	boundsFixed *metrics.Counter // partitions realigned to the routing table
 	expired     *metrics.Counter // deferred commands whose deadline passed
-	groupNS     *metrics.Histogram
+	// Block outcomes of shared column scans (see colstore.ScanStats):
+	// values evaluated vs blocks skipped or accepted whole by zone maps.
+	colBlocksScanned *metrics.Counter
+	colBlocksPruned  *metrics.Counter
+	colBlocksFullHit *metrics.Counter
+	groupNS          *metrics.Histogram
 }
-
-// scanAgg accumulates one scan command's share of a shared column pass.
-type scanAgg struct{ matched, sum uint64 }
 
 type groupKey struct {
 	obj     routing.ObjectID
@@ -272,27 +276,30 @@ func New(r *routing.Router, mems *mem.System, id uint32, cfg Config) *AEU {
 	reg := r.Metrics()
 	prefix := fmt.Sprintf("aeu.%d.", id)
 	return &AEU{
-		ID:             id,
-		Core:           core,
-		Node:           machine.Topology().NodeOfCore(core),
-		router:         r,
-		machine:        machine,
-		mems:           mems,
-		cfg:            cfg.withDefaults(),
-		faults:         r.Faults(),
-		sessions:       make(map[routing.ObjectID]*prefixtree.Session),
-		parts:          make(map[routing.ObjectID]*Partition),
-		pendingFetches: make(map[uint64]int),
-		groups:         make(map[groupKey]*group),
-		Rng:            rand.New(rand.NewSource(int64(id)*7919 + 17)),
-		opsDone:        reg.Counter(prefix + "ops"),
-		forwards:       reg.Counter(prefix + "forwards"),
-		deferredCnt:    reg.Counter(prefix + "deferred"),
-		iterations:     reg.Counter(prefix + "iterations"),
-		ctrlErrors:     reg.Counter(prefix + "control_errors"),
-		xferErrors:     reg.Counter(prefix + "transfer_errors"),
-		boundsFixed:    reg.Counter(prefix + "bounds_reconciled"),
-		expired:        reg.Counter(prefix + "expired"),
+		ID:               id,
+		Core:             core,
+		Node:             machine.Topology().NodeOfCore(core),
+		router:           r,
+		machine:          machine,
+		mems:             mems,
+		cfg:              cfg.withDefaults(),
+		faults:           r.Faults(),
+		sessions:         make(map[routing.ObjectID]*prefixtree.Session),
+		parts:            make(map[routing.ObjectID]*Partition),
+		pendingFetches:   make(map[uint64]int),
+		groups:           make(map[groupKey]*group),
+		Rng:              rand.New(rand.NewSource(int64(id)*7919 + 17)),
+		opsDone:          reg.Counter(prefix + "ops"),
+		forwards:         reg.Counter(prefix + "forwards"),
+		deferredCnt:      reg.Counter(prefix + "deferred"),
+		iterations:       reg.Counter(prefix + "iterations"),
+		ctrlErrors:       reg.Counter(prefix + "control_errors"),
+		xferErrors:       reg.Counter(prefix + "transfer_errors"),
+		boundsFixed:      reg.Counter(prefix + "bounds_reconciled"),
+		expired:          reg.Counter(prefix + "expired"),
+		colBlocksScanned: reg.Counter(prefix + "colscan.blocks_scanned"),
+		colBlocksPruned:  reg.Counter(prefix + "colscan.blocks_pruned"),
+		colBlocksFullHit: reg.Counter(prefix + "colscan.blocks_full_hit"),
 		// 250 ns to ~65 ms in 10 exponential buckets: command groups span
 		// single-key lookups to full partition scans.
 		groupNS: reg.Histogram(prefix+"group_ns", metrics.ExpBuckets(250, 4, 10)),

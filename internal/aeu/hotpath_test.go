@@ -159,6 +159,10 @@ func TestServePathSteadyStateAllocs(t *testing.T) {
 		vals[i] = uint64(i)
 	}
 	pc.Col.Append(a0.Core, vals)
+	// One tombstone forces the shared pass through the bitmap kernel's
+	// tombstone-masking branch as well (and allocates the del bitmap now,
+	// before the steady-state measurement).
+	pc.Col.Delete(a0.Core, 130)
 	src := h.aeus[1].Outbox()
 	keys := make([]uint64, 64)
 	kvs := make([]prefixtree.KV, 64)
@@ -169,9 +173,13 @@ func TestServePathSteadyStateAllocs(t *testing.T) {
 	run := func() {
 		src.RouteLookup(testObj, keys, command.NoReply, 0)
 		src.RouteUpsert(testObj, kvs, command.NoReply, 0)
-		for i := 0; i < 4; i++ { // shared pass over 4 scan commands
-			src.RouteScan(colObj, colstore.Predicate{Op: colstore.Less, Operand: uint64(100 + i)}, command.NoReply, 0)
-		}
+		// Shared pass covering every filter kernel: the selection-bitmap
+		// path, zone-map pruning and full-accept all run per cycle.
+		src.RouteScan(colObj, colstore.Predicate{Op: colstore.Less, Operand: 100}, command.NoReply, 0)
+		src.RouteScan(colObj, colstore.Predicate{Op: colstore.Greater, Operand: 500}, command.NoReply, 0)
+		src.RouteScan(colObj, colstore.Predicate{Op: colstore.Equal, Operand: 300}, command.NoReply, 0)
+		src.RouteScan(colObj, colstore.Predicate{Op: colstore.Between, Operand: 128, High: 400}, command.NoReply, 0)
+		src.RouteScan(colObj, colstore.Predicate{Op: colstore.All}, command.NoReply, 0)
 		src.Flush()
 		h.router.Drain(a0.ID, a0.classify)
 		a0.processGroups()

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"eris/internal/colstore"
 	"eris/internal/command"
 	"eris/internal/prefixtree"
 	"eris/internal/routing"
@@ -467,33 +468,56 @@ func (a *AEU) processScans(g *group, p *Partition) {
 	}
 }
 
+// processColumnScans runs one morsel-driven shared pass over the column:
+// SharedScan walks the blocks once and feeds every attached scan's
+// aggregate, pruning per scan with the value bounds the fan-out carried on
+// the command (Keys = [lo, hi]) intersected with the predicate's own
+// bounds — the intersection keeps a bad peer's bounds from widening what a
+// zone map may accept wholesale.
 func (a *AEU) processColumnScans(g *group, p *Partition) {
 	snapshot := p.Col.Snapshot()
 	if cap(a.scratch.scanAggs) < len(g.scans) {
-		a.scratch.scanAggs = make([]scanAgg, len(g.scans))
+		a.scratch.scanAggs = make([]colstore.ScanAgg, len(g.scans))
+		a.scratch.scanSpecs = make([]colstore.ScanSpec, len(g.scans))
 	}
 	aggs := a.scratch.scanAggs[:len(g.scans)]
+	specs := a.scratch.scanSpecs[:len(g.scans)]
 	clear(aggs)
-	p.Col.Scan(a.Core, snapshot, func(values []uint64) {
-		for _, v := range values {
-			for i := range g.scans {
-				if g.scans[i].Pred.Matches(v) {
-					aggs[i].matched++
-					aggs[i].sum += v
-				}
+	for i := range g.scans {
+		c := &g.scans[i]
+		specs[i] = colstore.SpecOf(c.Pred)
+		if len(c.Keys) == 2 {
+			if c.Keys[0] > specs[i].Lo {
+				specs[i].Lo = c.Keys[0]
+			}
+			if c.Keys[1] < specs[i].Hi {
+				specs[i].Hi = c.Keys[1]
 			}
 		}
-	})
+	}
+	stats := p.Col.SharedScan(a.Core, snapshot, specs, aggs, &a.scratch.scanScratch)
+	a.colBlocksScanned.Add(stats.BlocksScanned)
+	a.colBlocksPruned.Add(stats.BlocksPruned)
+	a.colBlocksFullHit.Add(stats.BlocksFullHit)
 	p.accesses.Add(int64(len(g.scans)))
 	a.countOps(int64(len(g.scans)))
 	for i, c := range g.scans {
 		if c.ReplyTo == command.NoReply {
 			continue
 		}
-		kvs := append(a.scratch.replyKVs[:0], prefixtree.KV{Key: aggs[i].matched, Value: aggs[i].sum})
+		kvs := append(a.scratch.replyKVs[:0], prefixtree.KV{Key: aggs[i].Matched, Value: aggs[i].Sum})
 		a.scratch.replyKVs = kvs
 		a.reply(groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source}, kvs, 1)
 	}
+}
+
+// CountColScanBlocks records block outcomes of a column scan executed
+// outside the command loop (e.g. a generator scanning its own partition),
+// so the colscan.* counters reflect every pass.
+func (a *AEU) CountColScanBlocks(scanned, pruned, fullHit int64) {
+	a.colBlocksScanned.Add(scanned)
+	a.colBlocksPruned.Add(pruned)
+	a.colBlocksFullHit.Add(fullHit)
 }
 
 func (a *AEU) processIndexScans(g *group, p *Partition) {

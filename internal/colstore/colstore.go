@@ -1,19 +1,36 @@
-// Package colstore implements the simple column store that backs ERIS's
-// scan-oriented data objects (Section 4). A Column is an append-only
-// sequence of 64-bit values stored in node-local chunks. Scans stream the
-// chunks sequentially (charging the simulated machine with pure-bandwidth
-// accesses) and support predicate push-down; isolation for scan sharing
-// comes from an MVCC-lite snapshot: the column's entry count at command
-// time bounds what a scan may see, so appends never block or tear a running
-// scan.
+// Package colstore implements the block-wise column store that backs ERIS's
+// scan-oriented data objects (Section 4). A Column is a position-addressed
+// sequence of 64-bit values stored in fixed-size blocks, each carried by one
+// node-local mem.Block allocation. Every block maintains a zone map — the
+// min/max of its live values, a widen-only superset — plus a tombstone
+// bitmap with a deleted count and a wrapping sum, all updated incrementally
+// on append, upsert and delete.
 //
-// For load balancing, whole chunks move between AEUs by reference when both
-// live on the same node (the "link" mechanism) and are flattened/copied
-// across nodes otherwise.
+// Scans are block-at-a-time: a predicate implies an inclusive value
+// interval (Predicate.Bounds), and each block's zone map decides, without
+// touching the values, whether the block is skipped (no overlap), accepted
+// whole (contained, matched/sum served from the block summary) or
+// evaluated. Evaluated blocks run a branch-light vectorized filter kernel
+// that materializes a selection bitmap (SharedScan) or aggregates directly
+// (ScanFiltered). Virtual time is charged per block touched: pruned and
+// full-hit blocks cost one zone check, only evaluated blocks stream their
+// bytes — so zone-map pruning shows up in the simulated fig-8-style cost
+// numbers exactly as it would on the real machine.
+//
+// Isolation for scan sharing comes from an MVCC-lite snapshot: the column's
+// appended-position count at command time bounds what a scan may see, so
+// appends never block or tear a running scan. Tombstoning and in-place
+// upserts are owner-side operations (the AEU that owns the partition);
+// they are serialized with scans by the column mutex.
+//
+// For load balancing, whole blocks move between AEUs by reference when both
+// live on the same node (the "link" mechanism) and are flattened/copied —
+// compacting tombstones away — across nodes otherwise.
 package colstore
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 
 	"eris/internal/mem"
@@ -23,35 +40,69 @@ import (
 
 // Config shapes a column.
 type Config struct {
-	// ChunkEntries is the number of 64-bit entries per chunk. Default 65536
-	// (512 KiB chunks).
+	// ChunkEntries is the number of 64-bit entries per block. Default 4096
+	// (32 KiB blocks): small enough that zone maps prune at fine grain,
+	// large enough that the per-block overhead stays invisible next to the
+	// value stream.
 	ChunkEntries int
 }
 
 func (c Config) withDefaults() Config {
 	if c.ChunkEntries == 0 {
-		c.ChunkEntries = 1 << 16
+		c.ChunkEntries = 4096
 	}
 	return c
 }
 
-// Alloc produces the backing block for a chunk; it decides the home node.
+// Alloc produces the backing allocation for a block; it decides the home
+// node.
 type Alloc func(size int64) mem.Block
 
-// Free releases a chunk's block.
+// Free releases a block's allocation.
 type Free func(b mem.Block)
 
-type chunk struct {
+// block is one fixed-size run of the column plus its incremental summary.
+//
+// Invariants (all maintained under the column mutex):
+//   - start is the column position of data[0]; blocks tile [0, count).
+//   - zmin/zmax bound every live value in the block (a widen-only
+//     superset: deletes do not narrow them).
+//   - sum is the exact wrapping sum of the live values.
+//   - dead counts set bits in del; del == nil means no tombstones.
+type block struct {
 	data  []uint64
-	block mem.Block
+	del   []uint64 // tombstone bitmap, 1 bit per slot; nil until first delete
+	mem   mem.Block
+	start int64
 	used  int
+	dead  int
+	zmin  uint64
+	zmax  uint64
+	sum   uint64
+}
+
+// delGet reports whether slot i is tombstoned.
+func (b *block) delGet(i int) bool {
+	return b.del != nil && b.del[i/64]&(1<<uint(i%64)) != 0
+}
+
+// noteInsert widens the zone map and sum for a newly live value.
+func (b *block) noteInsert(v uint64) {
+	if v < b.zmin {
+		b.zmin = v
+	}
+	if v > b.zmax {
+		b.zmax = v
+	}
+	b.sum += v
 }
 
 // Column is one partition of a columnar data object.
 //
 // A Column is owned by a single AEU in ERIS; the mutex only matters for the
-// NUMA-agnostic shared baselines, where many workers append to and scan one
-// column concurrently.
+// NUMA-agnostic shared baselines and for tests, where many workers append
+// to and scan one column concurrently. Scans hold the read lock for the
+// whole pass, so mutators are serialized against them.
 type Column struct {
 	machine *numasim.Machine
 	cfg     Config
@@ -59,11 +110,12 @@ type Column struct {
 	release Free
 
 	mu     sync.RWMutex
-	chunks []chunk
-	count  int64
+	blocks []block
+	count  int64 // appended positions present (the MVCC snapshot bound)
+	dead   int64 // tombstoned positions among them
 }
 
-// New creates an empty column whose chunks are placed by alloc.
+// New creates an empty column whose blocks are placed by alloc.
 func New(machine *numasim.Machine, cfg Config, alloc Alloc, release Free) *Column {
 	cfg = cfg.withDefaults()
 	return &Column{machine: machine, cfg: cfg, alloc: alloc, release: release}
@@ -75,78 +127,180 @@ func NewLocal(machine *numasim.Machine, cfg Config, mgr *mem.Manager) *Column {
 	return New(machine, cfg, mgr.Alloc, mgr.Free)
 }
 
-// Count returns the number of entries (also the current MVCC snapshot).
+// Count returns the number of live entries (appended minus tombstoned).
 func (c *Column) Count() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.count - c.dead
+}
+
+// Bytes returns the simulated bytes held by the column's blocks.
+func (c *Column) Bytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var sum int64
+	for i := range c.blocks {
+		sum += c.blocks[i].mem.Size
+	}
+	return sum
+}
+
+// Snapshot returns the position count to use as an MVCC read bound. It
+// counts appended positions, not live entries: tombstones stay visible to
+// position-bounded readers, which is what keeps the bound monotonic.
+func (c *Column) Snapshot() int64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.count
 }
 
-// Bytes returns the simulated bytes held by the column's chunks.
-func (c *Column) Bytes() int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	var sum int64
-	for i := range c.chunks {
-		sum += c.chunks[i].block.Size
+// newBlock allocates an empty block starting at column position start.
+func (c *Column) newBlock(start int64) block {
+	return block{
+		data:  make([]uint64, c.cfg.ChunkEntries),
+		mem:   c.alloc(int64(c.cfg.ChunkEntries) * 8),
+		start: start,
+		zmin:  ^uint64(0),
 	}
-	return sum
 }
 
-// Snapshot returns the entry count to use as an MVCC read bound.
-func (c *Column) Snapshot() int64 { return c.Count() }
+// tailBlock returns the block with append space, allocating one if needed.
+// Caller holds the write lock.
+func (c *Column) tailBlock() *block {
+	if len(c.blocks) == 0 || c.blocks[len(c.blocks)-1].used == c.cfg.ChunkEntries {
+		c.blocks = append(c.blocks, c.newBlock(c.count))
+	}
+	return &c.blocks[len(c.blocks)-1]
+}
 
 // Append adds values to the column, charging core with sequential writes to
-// the chunks' home nodes.
+// the blocks' home nodes and folding each value into its block's zone map.
 func (c *Column) Append(core topology.CoreID, values []uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for len(values) > 0 {
-		if len(c.chunks) == 0 || c.chunks[len(c.chunks)-1].used == c.cfg.ChunkEntries {
-			block := c.alloc(int64(c.cfg.ChunkEntries) * 8)
-			c.chunks = append(c.chunks, chunk{
-				data:  make([]uint64, c.cfg.ChunkEntries),
-				block: block,
-			})
+		b := c.tailBlock()
+		n := copy(b.data[b.used:], values)
+		c.machine.Stream(core, b.mem.Home, int64(n)*8)
+		for _, v := range values[:n] {
+			b.noteInsert(v)
 		}
-		ck := &c.chunks[len(c.chunks)-1]
-		n := copy(ck.data[ck.used:], values)
-		c.machine.Stream(core, ck.block.Home, int64(n)*8)
-		ck.used += n
+		b.used += n
 		c.count += int64(n)
 		values = values[n:]
 	}
 }
 
-// scanComputeNSPerByte models the per-byte CPU cost of predicate evaluation
-// (~80 GB/s per core), low enough that scans stay memory-bound as in the
-// paper.
-const scanComputeNSPerByte = 0.0125
+// blockOf returns the block containing position pos, or nil. Caller holds
+// a lock.
+func (c *Column) blockOf(pos int64) *block {
+	lo, hi := 0, len(c.blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.blocks[mid].start+int64(c.blocks[mid].used) <= pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(c.blocks) || pos < c.blocks[lo].start {
+		return nil
+	}
+	return &c.blocks[lo]
+}
 
-// Scan streams all entries up to the snapshot bound through fn in insertion
-// order, charging sequential reads. fn receives each chunk's visible slice.
+// Delete tombstones the value at position pos, updating the block's deleted
+// count and sum in place (the zone map is a widen-only superset and is not
+// narrowed). It reports whether a live entry was deleted.
+func (c *Column) Delete(core topology.CoreID, pos int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.blockOf(pos)
+	if b == nil {
+		return false
+	}
+	i := int(pos - b.start)
+	if b.del == nil {
+		b.del = make([]uint64, (len(b.data)+63)/64)
+	}
+	w, bit := i/64, uint(i%64)
+	if b.del[w]&(1<<bit) != 0 {
+		return false
+	}
+	b.del[w] |= 1 << bit
+	b.dead++
+	c.dead++
+	b.sum -= b.data[i]
+	// One value read plus one bitmap word write.
+	c.machine.Stream(core, b.mem.Home, 16)
+	return true
+}
+
+// Upsert overwrites the value at position pos, reviving the slot if it was
+// tombstoned, and maintains the block's zone map, sum and deleted count
+// incrementally. It reports whether pos addressed an appended slot.
+func (c *Column) Upsert(core topology.CoreID, pos int64, v uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.blockOf(pos)
+	if b == nil {
+		return false
+	}
+	i := int(pos - b.start)
+	if b.delGet(i) {
+		b.del[i/64] &^= 1 << uint(i%64)
+		b.dead--
+		c.dead--
+		b.sum += v
+	} else {
+		b.sum += v - b.data[i]
+	}
+	b.data[i] = v
+	if v < b.zmin {
+		b.zmin = v
+	}
+	if v > b.zmax {
+		b.zmax = v
+	}
+	c.machine.Stream(core, b.mem.Home, 16)
+	return true
+}
+
+// Scan cost model: evaluated blocks pay bandwidth for their bytes plus
+// per-byte predicate compute (~80 GB/s per core, low enough that scans stay
+// memory-bound as in the paper); pruned and full-hit blocks pay only a
+// zone-map check — a block-header read and two compares — per attached
+// scan, never per tuple skipped.
+const (
+	scanComputeNSPerByte = 0.0125
+	zoneCheckNSPerBlock  = 2.0
+)
+
+// Scan streams all positions up to the snapshot bound through fn in
+// insertion order, charging sequential reads. fn receives each block's
+// visible slice, tombstoned slots included — this is the raw position-
+// oriented walk; filtered scans go through ScanFiltered or SharedScan.
+// fn must not call back into the column (the read lock is held).
 func (c *Column) Scan(core topology.CoreID, snapshot int64, fn func(values []uint64)) int64 {
 	c.mu.RLock()
-	chunks := c.chunks
-	c.mu.RUnlock()
-
+	defer c.mu.RUnlock()
 	var seen int64
-	for i := range chunks {
+	for i := range c.blocks {
 		if seen >= snapshot {
 			break
 		}
-		ck := &chunks[i]
-		n := int64(ck.used)
+		b := &c.blocks[i]
+		n := int64(b.used)
 		if seen+n > snapshot {
 			n = snapshot - seen
 		}
 		if n <= 0 {
 			break
 		}
-		c.machine.Stream(core, ck.block.Home, n*8)
+		c.machine.Stream(core, b.mem.Home, n*8)
 		c.machine.AdvanceNS(core, float64(n*8)*scanComputeNSPerByte)
 		if fn != nil {
-			fn(ck.data[:n])
+			fn(b.data[:n])
 		}
 		seen += n
 	}
@@ -190,42 +344,388 @@ func (p Predicate) Matches(v uint64) bool {
 	return false
 }
 
-// ScanResult aggregates a filtered scan.
-type ScanResult struct {
-	Scanned int64
-	Matched int64
-	Sum     uint64 // sum of matching values, wrapping
+// Bounds returns the inclusive value interval the predicate can match.
+// ok is false when the predicate matches nothing (Less 0, Greater MaxUint64,
+// inverted Between) — the empty interval that prunes every block.
+func (p Predicate) Bounds() (lo, hi uint64, ok bool) {
+	switch p.Op {
+	case All:
+		return 0, ^uint64(0), true
+	case Less:
+		if p.Operand == 0 {
+			return 0, 0, false
+		}
+		return 0, p.Operand - 1, true
+	case Greater:
+		if p.Operand == ^uint64(0) {
+			return 0, 0, false
+		}
+		return p.Operand + 1, ^uint64(0), true
+	case Equal:
+		return p.Operand, p.Operand, true
+	case Between:
+		if p.Operand > p.High {
+			return 0, 0, false
+		}
+		return p.Operand, p.High, true
+	}
+	return 0, 0, false
 }
 
-// ScanFiltered streams the column once, evaluating the predicate and
-// aggregating; this is the storage operation behind the paper's scan data
-// command.
-func (c *Column) ScanFiltered(core topology.CoreID, snapshot int64, p Predicate) ScanResult {
-	var res ScanResult
-	res.Scanned = c.Scan(core, snapshot, func(values []uint64) {
-		for _, v := range values {
-			if p.Matches(v) {
-				res.Matched++
-				res.Sum += v
+// ScanSpec is one scan's share of a shared pass: the predicate to evaluate
+// plus the inclusive value bounds used for zone-map pruning. The bounds are
+// normally Pred.Bounds(), but the multicast fan-out carries them on the
+// scan command so every receiver prunes independently without re-deriving
+// them. Lo > Hi is the empty interval: the scan matches nothing.
+type ScanSpec struct {
+	Pred   Predicate
+	Lo, Hi uint64
+}
+
+// SpecOf derives a scan spec with the predicate's own bounds.
+func SpecOf(p Predicate) ScanSpec {
+	lo, hi, ok := p.Bounds()
+	if !ok {
+		return ScanSpec{Pred: p, Lo: 1, Hi: 0}
+	}
+	return ScanSpec{Pred: p, Lo: lo, Hi: hi}
+}
+
+// ScanAgg accumulates one scan's aggregate over a shared pass.
+type ScanAgg struct {
+	Matched uint64
+	Sum     uint64 // wrapping
+}
+
+// ScanStats counts block outcomes of a scan pass. Each counts (block,
+// scan) decisions: a shared pass over b blocks serving s scans records
+// b*s outcomes in total.
+type ScanStats struct {
+	BlocksScanned int64 // blocks whose values were evaluated for a scan
+	BlocksPruned  int64 // blocks skipped by the zone map (no overlap)
+	BlocksFullHit int64 // blocks accepted whole from the block summary
+}
+
+// ScanScratch is the reusable per-caller state of SharedScan: the selection
+// bitmap and the per-scan verdict buffer. It grows to the largest block and
+// scan count seen and then stays allocation-free; one scratch must not be
+// shared by concurrent scans.
+type ScanScratch struct {
+	bits     []uint64
+	verdicts []uint8
+}
+
+// Block verdicts of the zone-map check.
+const (
+	verdictEval uint8 = iota
+	verdictSkip
+	verdictFull
+)
+
+// verdict classifies a block against one scan's bounds. visible is how many
+// of the block's slots the snapshot exposes; full acceptance requires the
+// whole block to be visible, because the summary covers all live slots.
+func (b *block) verdict(s ScanSpec, visible int64) uint8 {
+	if b.used == b.dead || s.Lo > s.Hi || b.zmax < s.Lo || b.zmin > s.Hi {
+		return verdictSkip
+	}
+	if visible == int64(b.used) && b.zmin >= s.Lo && b.zmax <= s.Hi {
+		return verdictFull
+	}
+	return verdictEval
+}
+
+// predWord evaluates p over up to 64 values, returning one selection bit
+// per value plus the matched count and wrapping sum of the matching values.
+// The comparison loops are branch-free (borrow and xor-normalization
+// tricks) with the count and sum fused in as masked adds, so the kernel's
+// speed does not depend on the selectivity or the data order and no
+// per-match extraction pass is needed.
+func predWord(p Predicate, vals []uint64) (w, matched, sum uint64) {
+	switch p.Op {
+	case All:
+		for _, v := range vals {
+			sum += v
+		}
+		if len(vals) == 64 {
+			return ^uint64(0), 64, sum
+		}
+		return uint64(1)<<uint(len(vals)) - 1, uint64(len(vals)), sum
+	case Less:
+		for j, v := range vals {
+			_, borrow := bits.Sub64(v, p.Operand, 0) // 1 iff v < operand
+			w |= borrow << uint(j)
+			matched += borrow
+			sum += v & (0 - borrow)
+		}
+	case Greater:
+		for j, v := range vals {
+			_, borrow := bits.Sub64(p.Operand, v, 0) // 1 iff v > operand
+			w |= borrow << uint(j)
+			matched += borrow
+			sum += v & (0 - borrow)
+		}
+	case Equal:
+		for j, v := range vals {
+			x := v ^ p.Operand
+			hit := 1 - (x|(0-x))>>63 // 1 iff v == operand
+			w |= hit << uint(j)
+			matched += hit
+			sum += v & (0 - hit)
+		}
+	case Between:
+		for j, v := range vals {
+			_, below := bits.Sub64(v, p.Operand, 0) // 1 iff v < lo
+			_, above := bits.Sub64(p.High, v, 0)    // 1 iff v > hi
+			hit := 1 - (below | above)
+			w |= hit << uint(j)
+			matched += hit
+			sum += v & (0 - hit)
+		}
+	}
+	return w, matched, sum
+}
+
+// aggValues is the aggregate-only kernel: the same branch-free comparisons
+// as predWord but without materializing selection bits, for passes over
+// blocks with no tombstones where nothing downstream needs the bitmap.
+// Dropping the bit-building removes a serial shift/or chain per value.
+func aggValues(p Predicate, vals []uint64) (matched, sum uint64) {
+	switch p.Op {
+	case All:
+		for _, v := range vals {
+			sum += v
+		}
+		return uint64(len(vals)), sum
+	case Less:
+		for _, v := range vals {
+			_, borrow := bits.Sub64(v, p.Operand, 0)
+			matched += borrow
+			sum += v & (0 - borrow)
+		}
+	case Greater:
+		for _, v := range vals {
+			_, borrow := bits.Sub64(p.Operand, v, 0)
+			matched += borrow
+			sum += v & (0 - borrow)
+		}
+	case Equal:
+		for _, v := range vals {
+			x := v ^ p.Operand
+			hit := 1 - (x|(0-x))>>63
+			matched += hit
+			sum += v & (0 - hit)
+		}
+	case Between:
+		for _, v := range vals {
+			_, below := bits.Sub64(v, p.Operand, 0)
+			_, above := bits.Sub64(p.High, v, 0)
+			hit := 1 - (below | above)
+			matched += hit
+			sum += v & (0 - hit)
+		}
+	}
+	return matched, sum
+}
+
+// filterBlock runs the vectorized filter kernel over one block's visible
+// values: it evaluates p 64 values at a time, masks tombstoned slots, and
+// returns the matched count and wrapping sum. When bm is non-nil the
+// selection bitmap is materialized into it word by word (bm must hold
+// (len(vals)+63)/64 words) so later consumers can reuse the surviving set.
+func filterBlock(bm []uint64, vals []uint64, del []uint64, p Predicate) (matched, sum uint64) {
+	words := (len(vals) + 63) / 64
+	for w := 0; w < words; w++ {
+		base := w * 64
+		end := base + 64
+		if end > len(vals) {
+			end = len(vals)
+		}
+		word, m, s := predWord(p, vals[base:end])
+		if del != nil && del[w] != 0 {
+			// Tombstoned slots drop out of the selection; the fused count
+			// and sum included them, so recompute both from the surviving
+			// bits (the slow path — blocks without deletes never take it).
+			word &^= del[w]
+			m = uint64(bits.OnesCount64(word))
+			s = 0
+			for t := word; t != 0; t &= t - 1 {
+				s += vals[base+bits.TrailingZeros64(t)]
 			}
 		}
-	})
+		if bm != nil {
+			bm[w] = word
+		}
+		matched += m
+		sum += s
+	}
+	return matched, sum
+}
+
+// SharedScan is the morsel-driven shared pass: it walks the blocks once and
+// feeds every attached scan's aggregate. Per block, each scan's zone-map
+// verdict is computed first; the block's values are streamed only if at
+// least one scan must evaluate them, and consecutive scans with an
+// identical predicate share one kernel run. aggs[i] accumulates specs[i]'s
+// result (the caller zeroes it); scratch holds the selection bitmap and is
+// reused across calls.
+//
+// Virtual cost: one zone check per (block, scan); one byte stream plus one
+// per-byte compute charge per evaluated (block, kernel run). Pruned and
+// full-hit blocks never touch their values.
+func (c *Column) SharedScan(core topology.CoreID, snapshot int64, specs []ScanSpec, aggs []ScanAgg, scratch *ScanScratch) ScanStats {
+	var stats ScanStats
+	if len(specs) == 0 {
+		return stats
+	}
+	if cap(scratch.verdicts) < len(specs) {
+		scratch.verdicts = make([]uint8, len(specs))
+	}
+	verdicts := scratch.verdicts[:len(specs)]
+
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var seen int64
+	for bi := range c.blocks {
+		if seen >= snapshot {
+			break
+		}
+		b := &c.blocks[bi]
+		n := int64(b.used)
+		if seen+n > snapshot {
+			n = snapshot - seen
+		}
+		if n <= 0 {
+			break
+		}
+		c.machine.AdvanceNS(core, zoneCheckNSPerBlock*float64(len(specs)))
+		evals := 0
+		for i := range specs {
+			v := b.verdict(specs[i], n)
+			verdicts[i] = v
+			if v == verdictEval {
+				evals++
+			}
+		}
+		if evals > 0 {
+			// The block's values cross the memory system once per pass, no
+			// matter how many scans evaluate them.
+			c.machine.Stream(core, b.mem.Home, n*8)
+			words := (int(n) + 63) / 64
+			if cap(scratch.bits) < words {
+				scratch.bits = make([]uint64, words)
+			}
+		}
+		var prevPred Predicate
+		var prevM, prevS uint64
+		havePrev := false
+		for i := range specs {
+			switch verdicts[i] {
+			case verdictSkip:
+				stats.BlocksPruned++
+			case verdictFull:
+				stats.BlocksFullHit++
+				aggs[i].Matched += uint64(b.used - b.dead)
+				aggs[i].Sum += b.sum
+			default:
+				stats.BlocksScanned++
+				if havePrev && specs[i].Pred == prevPred {
+					// Identical predicate in the same shared pass: the
+					// surviving bitmap (and its aggregate) is reused.
+					aggs[i].Matched += prevM
+					aggs[i].Sum += prevS
+					continue
+				}
+				m, s := filterBlock(scratch.bits[:(int(n)+63)/64], b.data[:n], b.del, specs[i].Pred)
+				c.machine.AdvanceNS(core, float64(n*8)*scanComputeNSPerByte)
+				aggs[i].Matched += m
+				aggs[i].Sum += s
+				prevPred, prevM, prevS, havePrev = specs[i].Pred, m, s, true
+			}
+		}
+		seen += n
+	}
+	return stats
+}
+
+// ScanResult aggregates a filtered scan.
+type ScanResult struct {
+	Scanned int64 // positions visible at the snapshot (pruned or not)
+	Matched int64
+	Sum     uint64 // sum of matching values, wrapping
+
+	// Block outcomes of the pass (see ScanStats).
+	BlocksScanned int64
+	BlocksPruned  int64
+	BlocksFullHit int64
+}
+
+// ScanFiltered runs one predicate over the column with zone-map pruning,
+// aggregating matched count and sum; this is the storage operation behind
+// the paper's scan data command. It needs no scratch (the single-predicate
+// kernel aggregates without materializing the selection bitmap), so it is
+// safe to call concurrently from many readers.
+func (c *Column) ScanFiltered(core topology.CoreID, snapshot int64, p Predicate) ScanResult {
+	spec := SpecOf(p)
+	var res ScanResult
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var seen int64
+	for bi := range c.blocks {
+		if seen >= snapshot {
+			break
+		}
+		b := &c.blocks[bi]
+		n := int64(b.used)
+		if seen+n > snapshot {
+			n = snapshot - seen
+		}
+		if n <= 0 {
+			break
+		}
+		c.machine.AdvanceNS(core, zoneCheckNSPerBlock)
+		switch b.verdict(spec, n) {
+		case verdictSkip:
+			res.BlocksPruned++
+		case verdictFull:
+			res.BlocksFullHit++
+			res.Matched += int64(b.used - b.dead)
+			res.Sum += b.sum
+		default:
+			res.BlocksScanned++
+			c.machine.Stream(core, b.mem.Home, n*8)
+			c.machine.AdvanceNS(core, float64(n*8)*scanComputeNSPerByte)
+			var m, s uint64
+			if b.del == nil {
+				m, s = aggValues(p, b.data[:n])
+			} else {
+				m, s = filterBlock(nil, b.data[:n], b.del, p)
+			}
+			res.Matched += int64(m)
+			res.Sum += s
+		}
+		seen += n
+	}
+	res.Scanned = seen
 	return res
 }
 
-// Detached is a run of chunks detached from a column for a partition
+// Detached is a run of blocks detached from a column for a partition
 // transfer.
 type Detached struct {
-	chunks []chunk
-	count  int64
+	blocks []block
+	count  int64 // positions
+	dead   int64 // tombstones among them
 }
 
-// Count returns the number of entries in the detached run.
+// Count returns the number of positions in the detached run (tombstones
+// included; they are compacted away by a cross-node copy).
 func (d *Detached) Count() int64 { return d.count }
 
-// DetachTail removes the last n entries from the column. Whole chunks move
-// by reference; a partially covered chunk is split by copying its tail into
-// a fresh chunk (charged as a local stream).
+// DetachTail removes the last n positions from the column. Whole blocks
+// move by reference with their zone maps and tombstones; a partially
+// covered block is split by copying its tail into a fresh block (charged as
+// a local stream) whose summary is rebuilt from the copied slots.
 func (c *Column) DetachTail(core topology.CoreID, n int64) *Detached {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -233,109 +733,156 @@ func (c *Column) DetachTail(core topology.CoreID, n int64) *Detached {
 	if n > c.count {
 		n = c.count
 	}
-	for n > 0 && len(c.chunks) > 0 {
-		last := &c.chunks[len(c.chunks)-1]
+	for n > 0 && len(c.blocks) > 0 {
+		last := &c.blocks[len(c.blocks)-1]
 		if int64(last.used) <= n {
-			// Unlink the whole chunk.
-			d.chunks = append(d.chunks, *last)
+			// Unlink the whole block.
+			d.blocks = append(d.blocks, *last)
 			d.count += int64(last.used)
+			d.dead += int64(last.dead)
 			n -= int64(last.used)
 			c.count -= int64(last.used)
-			c.chunks = c.chunks[:len(c.chunks)-1]
+			c.dead -= int64(last.dead)
+			c.blocks = c.blocks[:len(c.blocks)-1]
 			continue
 		}
-		// Split: copy the tail of the chunk into a new chunk.
+		// Split: copy the tail of the block into a new block, moving the
+		// covered tombstones and rebuilding both summaries (the kept
+		// block's zone map stays as a superset; its sum and deleted count
+		// are exact by subtraction).
 		keep := int64(last.used) - n
-		block := c.alloc(int64(c.cfg.ChunkEntries) * 8)
-		split := chunk{data: make([]uint64, c.cfg.ChunkEntries), block: block}
+		split := c.newBlock(0) // start is assigned when the run is relinked
 		copy(split.data, last.data[keep:last.used])
 		split.used = int(n)
-		c.machine.Stream(core, last.block.Home, n*8)
-		c.machine.Stream(core, block.Home, n*8)
+		for i := 0; i < split.used; i++ {
+			if last.delGet(int(keep) + i) {
+				if split.del == nil {
+					split.del = make([]uint64, (len(split.data)+63)/64)
+				}
+				split.del[i/64] |= 1 << uint(i%64)
+				split.dead++
+			} else {
+				split.noteInsert(split.data[i])
+			}
+		}
+		c.machine.Stream(core, last.mem.Home, n*8)
+		c.machine.Stream(core, split.mem.Home, n*8)
 		last.used = int(keep)
-		d.chunks = append(d.chunks, split)
-		d.count += n
+		last.sum -= split.sum
+		last.dead -= split.dead
 		c.count -= n
+		c.dead -= int64(split.dead)
+		d.blocks = append(d.blocks, split)
+		d.count += n
+		d.dead += int64(split.dead)
 		n = 0
 	}
-	// Detached chunks come off the tail newest-first; restore order.
-	for i, j := 0, len(d.chunks)-1; i < j; i, j = i+1, j-1 {
-		d.chunks[i], d.chunks[j] = d.chunks[j], d.chunks[i]
+	// Detached blocks come off the tail newest-first; restore order.
+	for i, j := 0, len(d.blocks)-1; i < j; i, j = i+1, j-1 {
+		d.blocks[i], d.blocks[j] = d.blocks[j], d.blocks[i]
 	}
 	return d
 }
 
-// LinkDetached appends a detached run by reference. Every chunk must be
-// homed on node (the caller's local node): linking is only legal within one
-// memory-management domain.
+// LinkDetached appends a detached run by reference, renumbering the linked
+// blocks' start positions. Every block must be homed on node (the caller's
+// local node): linking is only legal within one memory-management domain.
 func (c *Column) LinkDetached(core topology.CoreID, node topology.NodeID, d *Detached) error {
-	for i := range d.chunks {
-		if d.chunks[i].block.Home != node {
-			return fmt.Errorf("colstore: link of chunk homed on node %d into node %d; use CopyDetached",
-				d.chunks[i].block.Home, node)
+	for i := range d.blocks {
+		if d.blocks[i].mem.Home != node {
+			return fmt.Errorf("colstore: link of block homed on node %d into node %d; use CopyDetached",
+				d.blocks[i].mem.Home, node)
 		}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.chunks = append(c.chunks, d.chunks...)
-	c.count += d.count
-	d.chunks, d.count = nil, 0
+	for i := range d.blocks {
+		d.blocks[i].start = c.count
+		c.blocks = append(c.blocks, d.blocks[i])
+		c.count += int64(d.blocks[i].used)
+		c.dead += int64(d.blocks[i].dead)
+	}
+	d.blocks, d.count, d.dead = nil, 0, 0
 	return nil
 }
 
 // CopyDetached appends a detached run by value: the target AEU streams the
-// source chunks into freshly allocated local chunks (the cross-node "copy"
-// transfer), then releases the source blocks.
+// source blocks' live values into freshly allocated local blocks (the
+// cross-node "copy" transfer), compacting tombstones away, then releases
+// the source allocations.
 func (c *Column) CopyDetached(core topology.CoreID, d *Detached, releaseSrc Free) {
-	for i := range d.chunks {
-		src := &d.chunks[i]
-		if src.used == 0 {
-			releaseSrc(src.block)
-			continue
+	for i := range d.blocks {
+		src := &d.blocks[i]
+		if src.used > src.dead {
+			c.appendCopied(core, src)
 		}
-		c.appendCopied(core, src)
-		releaseSrc(src.block)
+		releaseSrc(src.mem)
 	}
-	d.chunks, d.count = nil, 0
+	d.blocks, d.count, d.dead = nil, 0, 0
 }
 
-// appendCopied streams one source chunk into the column.
-func (c *Column) appendCopied(core topology.CoreID, src *chunk) {
+// appendCopied streams one source block's live values into the column.
+func (c *Column) appendCopied(core topology.CoreID, src *block) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	values := src.data[:src.used]
-	for len(values) > 0 {
-		if len(c.chunks) == 0 || c.chunks[len(c.chunks)-1].used == c.cfg.ChunkEntries {
-			block := c.alloc(int64(c.cfg.ChunkEntries) * 8)
-			c.chunks = append(c.chunks, chunk{data: make([]uint64, c.cfg.ChunkEntries), block: block})
+	copied := 0
+	var home topology.NodeID
+	for i := 0; i < src.used; i++ {
+		if src.delGet(i) {
+			continue
 		}
-		ck := &c.chunks[len(c.chunks)-1]
-		n := copy(ck.data[ck.used:], values)
+		b := c.tailBlock()
+		v := src.data[i]
+		b.data[b.used] = v
+		b.noteInsert(v)
+		b.used++
+		c.count++
+		copied++
+		home = b.mem.Home
+	}
+	if copied > 0 {
 		// The copy loop reads the remote source and writes locally; the
 		// slower leg dominates, which StreamBetween models.
-		c.machine.StreamBetween(core, src.block.Home, ck.block.Home, int64(n)*8)
-		ck.used += n
-		c.count += int64(n)
-		values = values[n:]
+		c.machine.StreamBetween(core, src.mem.Home, home, int64(copied)*8)
 	}
 }
 
-// Release frees all chunks of the column.
+// Release frees all blocks of the column.
 func (c *Column) Release() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for i := range c.chunks {
-		c.release(c.chunks[i].block)
+	for i := range c.blocks {
+		c.release(c.blocks[i].mem)
 	}
-	c.chunks, c.count = nil, 0
+	c.blocks, c.count, c.dead = nil, 0, 0
 }
 
-// Values copies the visible entries into a slice; test and small-result
-// support, not a streaming path.
+// Values copies the live visible entries into a slice; test and
+// small-result support, not a streaming path.
 func (c *Column) Values(core topology.CoreID, snapshot int64) []uint64 {
 	out := make([]uint64, 0, snapshot)
-	c.Scan(core, snapshot, func(values []uint64) {
-		out = append(out, values...)
-	})
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var seen int64
+	for bi := range c.blocks {
+		if seen >= snapshot {
+			break
+		}
+		b := &c.blocks[bi]
+		n := int64(b.used)
+		if seen+n > snapshot {
+			n = snapshot - seen
+		}
+		if n <= 0 {
+			break
+		}
+		c.machine.Stream(core, b.mem.Home, n*8)
+		for i := 0; i < int(n); i++ {
+			if !b.delGet(i) {
+				out = append(out, b.data[i])
+			}
+		}
+		seen += n
+	}
 	return out
 }

@@ -268,10 +268,15 @@ func (e *Engine) ScanCtx(ctx context.Context, id routing.ObjectID, pred colstore
 	if err != nil {
 		return agg, err
 	}
+	vlo, vhi, vok := pred.Bounds()
+	if !vok {
+		vlo, vhi = 1, 0
+	}
 	for _, owner := range targets {
 		e.router.Inject(owner, &command.Command{
 			Op: command.OpScan, Object: uint32(id), Source: owner,
-			ReplyTo: aeu.ClientReply, Tag: tag, Pred: pred, Deadline: deadlineOf(ctx),
+			ReplyTo: aeu.ClientReply, Tag: tag, Pred: pred,
+			Keys: []uint64{vlo, vhi}, Deadline: deadlineOf(ctx),
 		})
 	}
 	if err := e.await(ctx, p, tag); err != nil {

@@ -171,7 +171,8 @@ func (g *SelfScanGenerator) Generate(a *aeu.AEU) bool {
 	if p == nil || p.Col == nil {
 		return false
 	}
-	p.Col.ScanFiltered(a.Core, p.Col.Snapshot(), g.Pred)
+	res := p.Col.ScanFiltered(a.Core, p.Col.Snapshot(), g.Pred)
+	a.CountColScanBlocks(res.BlocksScanned, res.BlocksPruned, res.BlocksFullHit)
 	a.CountOps(1)
 	return true
 }

@@ -315,12 +315,20 @@ func (o *Outbox) resolveOwners(table *RangeTable, routed []uint64) []uint32 {
 }
 
 // RouteScan multicasts a full scan of a size-partitioned object to every
-// holder. It returns the number of targets.
+// holder. The multicast carries the predicate's inclusive value bounds as
+// Keys = [lo, hi] ([1, 0] when the predicate matches nothing), so each
+// receiving AEU prunes its blocks with its zone maps independently. It
+// returns the number of targets.
 func (o *Outbox) RouteScan(obj ObjectID, pred colstore.Predicate, replyTo int32, tag uint64) int {
 	o.holderScratch = o.r.object(obj).bitmap.Holders(o.holderScratch[:0])
+	vlo, vhi, ok := pred.Bounds()
+	if !ok {
+		vlo, vhi = 1, 0
+	}
+	o.sortKeys = append(o.sortKeys[:0], vlo, vhi)
 	cmd := command.Command{
 		Op: command.OpScan, Object: uint32(obj), Source: o.self,
-		ReplyTo: replyTo, Tag: tag, Pred: pred,
+		ReplyTo: replyTo, Tag: tag, Pred: pred, Keys: o.sortKeys,
 	}
 	o.multicast(&cmd, o.holderScratch)
 	return len(o.holderScratch)

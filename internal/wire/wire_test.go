@@ -26,6 +26,15 @@ func sampleMsgs() []Msg {
 		{Type: TScan, Tag: 10, Object: 1, Pred: colstore.Predicate{Op: colstore.Between, Operand: 5, High: 50}, Lo: 100, Hi: 999, Limit: 0},
 		{Type: TScan, Tag: 11, Object: 1, Pred: colstore.Predicate{Op: colstore.All}, Lo: 0, Hi: 1<<20 - 1, Limit: 128},
 		{Type: TColScan, Tag: 12, Object: 2, Pred: colstore.Predicate{Op: colstore.Greater, Operand: 17}},
+		// Scan frames with degenerate predicate bounds: inverted key
+		// ranges and empty-interval predicates must decode (they mean
+		// "matches nothing"), never trip the decoder or the server.
+		{Type: TScan, Tag: 20, Object: 1, Pred: colstore.Predicate{Op: colstore.All}, Lo: 999, Hi: 100},
+		{Type: TScan, Tag: 21, Object: 1, Pred: colstore.Predicate{Op: colstore.Between, Operand: 50, High: 5}, Lo: 0, Hi: 1<<20 - 1},
+		{Type: TScan, Tag: 22, Object: 1, Pred: colstore.Predicate{Op: colstore.Less, Operand: 0}, Lo: 0, Hi: 0},
+		{Type: TScan, Tag: 23, Object: 1, Pred: colstore.Predicate{Op: colstore.Greater, Operand: ^uint64(0)}, Lo: 0, Hi: ^uint64(0), Limit: 1},
+		{Type: TColScan, Tag: 24, Object: 2, Pred: colstore.Predicate{Op: colstore.Between, Operand: ^uint64(0), High: 0}},
+		{Type: TColScan, Tag: 25, Object: 2, Pred: colstore.Predicate{Op: colstore.Between, Operand: 0, High: ^uint64(0)}},
 		{Type: TResult, Tag: 7, KVs: []prefixtree.KV{{Key: 3, Value: 30}}},
 		{Type: TAck, Tag: 8},
 		{Type: TAgg, Tag: 10, Matched: 42, Sum: 4242},

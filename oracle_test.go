@@ -133,26 +133,38 @@ func TestModelOracle(t *testing.T) {
 					t.Fatalf("step %d: lookup row %d = %+v, oracle %+v", step, i, got[i], want[i])
 				}
 			}
-		default: // aggregate range scan, compare count and sum
+		default: // aggregate range scan with a random value predicate
 			lo := uint64(rng.Int63n(domain))
 			hi := lo + uint64(rng.Int63n(domain/4))
 			if hi >= domain {
 				hi = domain - 1
 			}
-			got, err := idx.ScanRange(lo, hi, PredAll())
+			var pred Predicate
+			switch rng.Intn(4) {
+			case 0:
+				pred = PredAll()
+			case 1:
+				pred = PredLess(uint64(rng.Int63()))
+			case 2:
+				pred = PredGreater(uint64(rng.Int63()))
+			default:
+				plo := uint64(rng.Int63())
+				pred = PredBetween(plo, plo+uint64(rng.Int63n(1<<61)))
+			}
+			got, err := idx.ScanRange(lo, hi, pred)
 			if err != nil {
 				t.Fatalf("step %d: scan [%d,%d]: %v", step, lo, hi, err)
 			}
 			var matched, sum uint64
 			for k, v := range oracle {
-				if k >= lo && k <= hi {
+				if k >= lo && k <= hi && pred.Matches(v) {
 					matched++
 					sum += v
 				}
 			}
 			if got.Matched != matched || got.Sum != sum {
-				t.Fatalf("step %d: scan [%d,%d] = {%d, %d}, oracle {%d, %d}",
-					step, lo, hi, got.Matched, got.Sum, matched, sum)
+				t.Fatalf("step %d: scan [%d,%d] pred %+v = {%d, %d}, oracle {%d, %d}",
+					step, lo, hi, pred, got.Matched, got.Sum, matched, sum)
 			}
 		}
 	}

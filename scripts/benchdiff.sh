@@ -33,6 +33,22 @@ echo "== head: $(git rev-parse --short HEAD) + working tree" >&2
 go test $PKGS -run=NONE -bench="$FILTER" \
 	-benchtime="$BENCHTIME" -count="$COUNT" -benchmem >"$out/new.txt"
 
+# Fail loudly instead of printing an empty diff: a missing results file or
+# a -bench filter matching nothing would otherwise look like "no change".
+check_results() {
+	if [ ! -s "$2" ]; then
+		echo "benchdiff: no benchmark output for $1 ($2 missing or empty)" >&2
+		exit 1
+	fi
+	if ! grep -q '^Benchmark' "$2"; then
+		echo "benchdiff: no benchmarks matched filter '$FILTER' for $1; go test output was:" >&2
+		tail -5 "$2" >&2
+		exit 1
+	fi
+}
+check_results "base $BASE" "$out/old.txt"
+check_results "HEAD" "$out/new.txt"
+
 if command -v benchstat >/dev/null 2>&1; then
 	benchstat "$out/old.txt" "$out/new.txt"
 else
