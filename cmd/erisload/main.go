@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -36,6 +37,8 @@ import (
 	"eris/internal/aeu"
 	"eris/internal/client"
 	"eris/internal/core"
+	"eris/internal/histcheck"
+	"eris/internal/history"
 	"eris/internal/hwcounter"
 	"eris/internal/metrics"
 	"eris/internal/prefixtree"
@@ -48,7 +51,7 @@ func main() {
 	workers := flag.Int("workers", 0, "AEU count; with -remote, load goroutines (0 = default)")
 	keys := flag.Uint64("keys", 1<<20, "key domain size")
 	dur := flag.Float64("dur", 0.002, "measured virtual seconds (real seconds with -remote)")
-	mix := flag.String("mix", "lookup", "workload: lookup, upsert, or scan")
+	mix := flag.String("mix", "lookup", "workload: lookup, upsert, or scan; with -remote also mixed (read-mostly lookup/upsert/delete)")
 	balancer := flag.String("balancer", "", "load balancing algorithm (oneshot, maN; empty = off)")
 	hot := flag.Float64("hot", 0, "restrict lookups to the first fraction of the domain (0 = uniform)")
 	metricsAddr := flag.String("metricsaddr", "", "serve live engine metrics as JSON on this address (e.g. 127.0.0.1:0)")
@@ -56,6 +59,8 @@ func main() {
 	conns := flag.Int("conns", 4, "pooled connections with -remote")
 	overload := flag.Bool("overload", false, "with -remote: overload scenario — per-request deadlines, no retries, shed requests tolerated; reports goodput vs shed rate")
 	timeout := flag.Duration("timeout", 0, "with -remote: per-request client timeout (0 = none; 5ms under -overload)")
+	check := flag.Bool("check", false, "with -remote: record every operation and verify the history is linearizable after the run; violations dump to results/")
+	checkRing := flag.Int("checkring", 1<<16, "with -check: per-worker event ring capacity (overflow drops coverage, never soundness)")
 	scanScen := flag.Bool("scan", false, "analytical scan scenario: selectivity sweep (0.1%/1%/10%/100%) reporting scan goodput and zone-map block pruning")
 	serverMetrics := flag.String("servermetrics", "", "with -remote -scan: the server's -metricsaddr endpoint (host:port) to read colscan.* block counters from")
 	flag.Parse()
@@ -70,8 +75,11 @@ func main() {
 	}
 
 	if *remote != "" {
-		runRemote(*remote, *conns, *workers, *dur, *mix, *hot, *overload, *timeout)
+		runRemote(*remote, *conns, *workers, *dur, *mix, *hot, *overload, *timeout, *check, *checkRing)
 		return
+	}
+	if *check {
+		log.Fatal("-check requires -remote: history recording wraps the wire client")
 	}
 
 	db, err := eris.Open(eris.Options{
@@ -328,7 +336,15 @@ func printSweepPoint(frac float64, scans int, elapsed float64, matched uint64, d
 // are disabled, so server rejections (wire.ErrOverloaded) and expiries
 // surface directly; they are counted as shed work instead of aborting the
 // run, and the report shows goodput versus shed rate.
-func runRemote(addr string, conns, workers int, durSec float64, mix string, hot float64, overload bool, timeout time.Duration) {
+//
+// With check set, every operation is recorded into a per-worker history log
+// (plain ring-buffer appends — the verification itself runs offline after
+// the workload quiesced) and the history is checked for linearizability
+// against the sequential map model. The server's pre-existing contents are
+// unknown to the client, so keys start in the "unknown" state and the first
+// linearized read pins them. Violations dump a minimized reproducer to
+// results/ and the run exits non-zero.
+func runRemote(addr string, conns, workers int, durSec float64, mix string, hot float64, overload bool, timeout time.Duration, check bool, checkRing int) {
 	if workers <= 0 {
 		workers = 2 * conns
 	}
@@ -376,6 +392,11 @@ func runRemote(addr string, conns, workers int, durSec float64, mix string, hot 
 		keygen = workload.HotRange{Lo: 0, Hi: uint64(float64(obj.Domain) * hot)}
 	}
 
+	var rec *history.Recorder
+	if check {
+		rec = history.New(workers, checkRing)
+	}
+
 	const batch = 64
 	var ops, tuples, shed atomic.Uint64
 	deadline := time.Now().Add(time.Duration(durSec * float64(time.Second)))
@@ -383,11 +404,18 @@ func runRemote(addr string, conns, workers int, durSec float64, mix string, hot 
 	errc := make(chan error, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(seed int64) {
+		go func(w int, seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			keyBuf := make([]uint64, batch)
 			kvBuf := make([]prefixtree.KV, batch)
+			// With check, the worker binds one connection and records through
+			// it; the log is single-goroutine, like the connection.
+			var wc *history.WireClient
+			if check {
+				wc = history.NewWireClient(pool.Get(), obj.ID, rec.Client(w))
+			}
+			ctx := context.Background()
 			for time.Now().Before(deadline) {
 				c := pool.Get()
 				var err error
@@ -397,21 +425,73 @@ func runRemote(addr string, conns, workers int, durSec float64, mix string, hot 
 						keyBuf[i] = keygen.Key(rng, 0)
 					}
 					var kvs []prefixtree.KV
-					kvs, err = c.Lookup(obj.ID, keyBuf)
+					if wc != nil {
+						kvs, err = wc.Lookup(ctx, keyBuf)
+					} else {
+						kvs, err = c.Lookup(obj.ID, keyBuf)
+					}
 					tuples.Add(uint64(len(kvs)))
 				case "upsert":
 					for i := range kvBuf {
 						kvBuf[i] = prefixtree.KV{Key: keygen.Key(rng, 0), Value: uint64(rng.Int63())}
 					}
-					err = c.Upsert(obj.ID, kvBuf)
+					if wc != nil {
+						err = wc.Upsert(ctx, kvBuf)
+					} else {
+						err = c.Upsert(obj.ID, kvBuf)
+					}
 					tuples.Add(batch)
+				case "mixed":
+					// Read-mostly mix over one object so the checker has
+					// writes to order against reads: 2/8 upsert, 1/8 delete.
+					switch rng.Intn(8) {
+					case 0, 1:
+						for i := range kvBuf {
+							kvBuf[i] = prefixtree.KV{Key: keygen.Key(rng, 0), Value: uint64(rng.Int63())}
+						}
+						if wc != nil {
+							err = wc.Upsert(ctx, kvBuf)
+						} else {
+							err = c.Upsert(obj.ID, kvBuf)
+						}
+						tuples.Add(batch)
+					case 2:
+						for i := range keyBuf {
+							keyBuf[i] = keygen.Key(rng, 0)
+						}
+						if wc != nil {
+							err = wc.Delete(ctx, keyBuf[:8])
+						} else {
+							err = c.Delete(obj.ID, keyBuf[:8])
+						}
+						tuples.Add(8)
+					default:
+						for i := range keyBuf {
+							keyBuf[i] = keygen.Key(rng, 0)
+						}
+						var kvs []prefixtree.KV
+						if wc != nil {
+							kvs, err = wc.Lookup(ctx, keyBuf)
+						} else {
+							kvs, err = c.Lookup(obj.ID, keyBuf)
+						}
+						tuples.Add(uint64(len(kvs)))
+					}
 				case "scan":
 					var agg client.ScanAggregate
 					if obj.Kind == wire.KindColumn {
-						agg, err = c.ColScan(obj.ID, eris.PredAll())
+						if wc != nil {
+							agg, err = wc.ColScan(ctx, eris.PredAll())
+						} else {
+							agg, err = c.ColScan(obj.ID, eris.PredAll())
+						}
 					} else {
 						lo := keygen.Key(rng, 0)
-						agg, err = c.ScanRange(obj.ID, lo, lo+999, eris.PredAll())
+						if wc != nil {
+							agg, err = wc.ScanRange(ctx, lo, lo+999, eris.PredAll())
+						} else {
+							agg, err = c.ScanRange(obj.ID, lo, lo+999, eris.PredAll())
+						}
 					}
 					tuples.Add(agg.Matched)
 				default:
@@ -427,7 +507,7 @@ func runRemote(addr string, conns, workers int, durSec float64, mix string, hot 
 				}
 				ops.Add(1)
 			}
-		}(int64(w) + 1)
+		}(w, int64(w)+1)
 	}
 	wg.Wait()
 	select {
@@ -460,4 +540,38 @@ func runRemote(addr string, conns, workers int, durSec float64, mix string, hot 
 			snap.Counter("client.overloaded"), snap.Counter("client.timeouts"),
 			snap.Counter("client.retries"))
 	}
+
+	if check {
+		verifyHistory(rec, mix, obj)
+	}
+}
+
+// verifyHistory runs the offline linearizability check over a recorded
+// remote workload and reports (or dumps and dies on) the outcome.
+func verifyHistory(rec *history.Recorder, mix string, obj wire.ObjectInfo) {
+	opts := histcheck.Options{
+		// The server's pre-existing contents are unknown: the first
+		// linearized read of each key pins its start state.
+		DefaultUnknown: true,
+		// A scan-only run performs no column writes, so every column scan
+		// with the same predicate must observe the identical aggregate no
+		// matter how blocks migrate meanwhile.
+		ColumnStatic: mix == "scan" && obj.Kind == wire.KindColumn,
+	}
+	start := time.Now()
+	res := histcheck.Check(rec, opts)
+	fmt.Printf("history check: %d events (%d dropped), %d point ops, %d scans, %d column scans verified in %.2fs\n",
+		rec.Len(), res.Dropped, res.Ops, res.Scans, res.ColScans, time.Since(start).Seconds())
+	if res.Dropped > 0 {
+		fmt.Printf("history check: %d events overflowed the ring (coverage lost, soundness kept); raise -checkring\n", res.Dropped)
+	}
+	if len(res.Violations) > 0 {
+		path, werr := histcheck.WriteViolations("results", "erisload", res, opts)
+		if werr != nil {
+			log.Printf("write violation dump: %v", werr)
+		}
+		log.Fatalf("history check: %d linearizability violations (dump: %s); first: %s",
+			len(res.Violations), path, res.Violations[0].Reason)
+	}
+	fmt.Println("history check: linearizable — every response is explainable by a sequential execution")
 }

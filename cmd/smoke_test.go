@@ -136,6 +136,53 @@ func TestErisserveRemoteSmoke(t *testing.T) {
 	}
 }
 
+// TestErisloadCheckSmoke boots a balancing erisserve and drives it with
+// the erisload -check mode: a concurrent mixed workload is recorded through
+// the history harness and verified for linearizability offline. The run
+// must end with a clean verdict — any violation makes erisload exit
+// non-zero with a dump path.
+func TestErisloadCheckSmoke(t *testing.T) {
+	srv := exec.Command(tool(t, "erisserve"),
+		"-addr", "127.0.0.1:0", "-machine", "single", "-workers", "4",
+		"-keys", "16384", "-balancer", "oneshot")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("erisserve printed nothing: %v", sc.Err())
+	}
+	addr, ok := strings.CutPrefix(sc.Text(), "listening on ")
+	if !ok {
+		t.Fatalf("unexpected first line %q", sc.Text())
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	out, err := exec.Command(tool(t, "erisload"),
+		"-remote", addr, "-mix", "mixed", "-check", "-dur", "1",
+		"-conns", "2", "-workers", "4").CombinedOutput()
+	if err != nil {
+		t.Fatalf("erisload -check: %v\n%s", err, out)
+	}
+	report := string(out)
+	if !strings.Contains(report, "history check: linearizable") {
+		t.Fatalf("erisload -check report missing clean verdict:\n%s", report)
+	}
+	if !strings.Contains(report, "(0 dropped)") {
+		t.Fatalf("erisload -check overflowed its event rings (coverage lost):\n%s", report)
+	}
+}
+
 // TestErisserveOverloadSmoke boots erisserve with a tiny global admission
 // budget and drives it with the erisload -overload scenario: shed requests
 // must be tolerated and reported as a goodput/shed split rather than

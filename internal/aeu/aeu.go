@@ -86,6 +86,26 @@ type Partition struct {
 	reconLo, reconHi uint64
 	reconArmed       bool
 
+	// Bounds before the last OpBalance, keyed by its epoch. A fetch tagged
+	// with the same epoch is judged authoritative against these: in a normal
+	// cycle the source's own shrink lands before the targets' fetches, so
+	// the current bounds no longer cover the granted ranges even though all
+	// of their data is still here. prevHoles are the parts of those bounds
+	// whose data this AEU never actually had (ranges still recovering when
+	// the balance arrived) — a claim over them would just propagate the gap
+	// to the next owner as a trusted empty transfer.
+	prevLo, prevHi, prevEpoch uint64
+	prevHoles                 []keyRange
+
+	// Column-transfer accounting (size objects), read by client scans to
+	// detect rebalancing overlapping a fan-out. colXferGen advances on
+	// every tail detach and every linked payload; colInFlight counts
+	// payloads detached here that have not linked anywhere yet. A scan
+	// bracketed by two equal generation readings with zero in flight saw
+	// every tuple exactly once.
+	colXferGen  atomic.Int64
+	colInFlight atomic.Int64
+
 	// Monitoring counters sampled by the load balancer.
 	accesses  atomic.Int64 // keys/commands touched in the current window
 	cmdTimePS atomic.Int64 // processing time in the current window
@@ -119,17 +139,30 @@ func (p *Partition) SizeTuples() int64 {
 // transfer is a partition payload in flight between two AEUs: either a
 // linkable extracted subtree / chunk run, or a flattened copy stream.
 type transfer struct {
-	obj   routing.ObjectID
-	epoch uint64
-	from  uint32
-	ex    *prefixtree.Extracted
-	kvs   []prefixtree.KV
-	det   *colstore.Detached
-	lo    uint64
-	hi    uint64
+	obj    routing.ObjectID
+	epoch  uint64
+	from   uint32
+	ex     *prefixtree.Extracted
+	kvs    []prefixtree.KV
+	det    *colstore.Detached
+	srcCol *Partition // column transfers: source partition, for in-flight accounting
+	lo     uint64
+	hi     uint64
+	// auth marks a transfer whose source's bounds covered the whole fetch
+	// range (at extraction, or — for a fetch of the current balancing epoch
+	// — just before that epoch's own shrink). An authoritative transfer
+	// carried everything that exists for the range, so landing it satisfies
+	// pending and recovering state outright; a non-authoritative one only
+	// contributes data and the requester must keep probing.
+	auth bool
 	// stalled marks a payload that already took the StallTransfer fault,
 	// so its release cannot stall again.
 	stalled bool
+}
+
+// keyRange is an inclusive key interval.
+type keyRange struct {
+	lo, hi uint64
 }
 
 // heldAck is an epoch acknowledgement parked by the DelayEpochDone fault.
@@ -139,10 +172,43 @@ type heldAck struct {
 }
 
 // pendingRange is a key range granted to this AEU whose data has not
-// arrived yet; commands touching it are deferred, not answered.
+// arrived yet; commands touching it are deferred, not answered. The entry
+// is removed when its transfer lands; whatever is left when the epoch
+// closes (abandoned, errored, fetch frame lost) never got its data and is
+// converted to a recovering range instead of being dropped.
 type pendingRange struct {
+	obj    routing.ObjectID
 	lo, hi uint64
 	epoch  uint64
+	from   uint32 // AEU the fetch was addressed to — where the data still is
+}
+
+// recRange is a key range this AEU owns (per the routing tables) without
+// being sure it holds the data, because a fault ate part of the balance
+// handshake: the OpBalance itself (bounds reconciliation then picks the
+// range up with no fetch attached), or the OpFetch / transfer of a granted
+// range (the epoch then closes with the pending range unsatisfied). Either
+// way some of the tuples may still sit in another AEU's tree. Answering for
+// the range would serve misses for keys that exist, and writes accepted
+// into it would collide with the live copy when a later transfer finally
+// lands — so commands touching it defer (expiring honestly at their
+// deadlines) while the AEU walks its peers with repair fetches. The range
+// clears when an authoritative transfer covers it, or when every peer has
+// been probed and every probe's payload has landed — at that point any data
+// any peer held for the range has been extracted and linked here, so
+// serving it is sound even if the range turns out to be genuinely empty.
+type recRange struct {
+	obj    routing.ObjectID
+	lo, hi uint64
+	// from is the most likely holder, probed first: the fetch target
+	// recorded in the pending range when one existed, else the adjacent
+	// previous owner (ordered ownership keeps AEU ranges contiguous, so
+	// reconciled growth low of the old bounds came from ID-1 and growth
+	// high of them from ID+1).
+	from  uint32
+	tries uint8 // probes sent so far (walk position)
+	acks  uint8 // probe transfers landed so far
+	stall uint8 // sweeps spent fully probed but not fully acked
 }
 
 // Generator produces workload commands through the AEU's outbox. Generate
@@ -186,6 +252,7 @@ type AEU struct {
 	// Balancing state.
 	pendingFetches map[uint64]int // epoch -> outstanding transfers
 	pendingRanges  []pendingRange
+	recovering     []recRange // adopted ranges whose data never arrived
 	deferred       []command.Command
 	requeue        []command.Command
 	epochDone      func(aeu uint32, obj routing.ObjectID, epoch uint64)
@@ -237,6 +304,7 @@ type AEU struct {
 	ctrlErrors  *metrics.Counter // control commands that could not be applied
 	xferErrors  *metrics.Counter // failed fetches / dropped transfers
 	boundsFixed *metrics.Counter // partitions realigned to the routing table
+	repairs     *metrics.Counter // recovering ranges healed by a repair fetch
 	expired     *metrics.Counter // deferred commands whose deadline passed
 	// Block outcomes of shared column scans (see colstore.ScanStats):
 	// values evaluated vs blocks skipped or accepted whole by zone maps.
@@ -262,12 +330,20 @@ type group struct {
 	// are decoded zero-copy, so the retained scans' Keys must not alias
 	// the inbox buffer.
 	scanKeys []uint64
-	// deadline is the earliest non-zero deadline of the batched commands
-	// (unix nanoseconds, 0 = none); deferral and forwarding preserve it.
-	// Batches sharing a group belong to the same request tag, so in
-	// practice all members agree on it.
+	// deadline is the batch deadline (unix nanoseconds, 0 = none) while
+	// every member agrees on it; deferral and forwarding preserve it.
+	// NoReply batches coalesce commands from all sources, so members MAY
+	// disagree: the first disagreement materializes dls with one deadline
+	// per member (keys first, then kvs), and the group is processed as
+	// per-deadline sub-batches — expiry must only ever answer members
+	// that actually carry a passed deadline, never the whole batch.
 	deadline uint64
+	dls      []uint64
 }
+
+// mixedDeadlines reports whether the group's members disagree on their
+// deadline (dls materialized).
+func (g *group) mixedDeadlines() bool { return len(g.dls) > 0 }
 
 // New creates an AEU pinned to core id of the machine.
 func New(r *routing.Router, mems *mem.System, id uint32, cfg Config) *AEU {
@@ -296,6 +372,7 @@ func New(r *routing.Router, mems *mem.System, id uint32, cfg Config) *AEU {
 		ctrlErrors:       reg.Counter(prefix + "control_errors"),
 		xferErrors:       reg.Counter(prefix + "transfer_errors"),
 		boundsFixed:      reg.Counter(prefix + "bounds_reconciled"),
+		repairs:          reg.Counter(prefix + "range_repairs"),
 		expired:          reg.Counter(prefix + "expired"),
 		colBlocksScanned: reg.Counter(prefix + "colscan.blocks_scanned"),
 		colBlocksPruned:  reg.Counter(prefix + "colscan.blocks_pruned"),

@@ -35,6 +35,16 @@ func TestColumnScanDuringBalance(t *testing.T) {
 		vals[i] = uint64(i)
 	}
 	p0.Col.Append(h.aeus[0].Core, vals)
+	// Tombstone the value span [3600,3799] before any transfer: the moves
+	// below carry these blocks to AEU 1, which must receive tight zone
+	// maps (recomputed on detach), not the stale widen-only supersets.
+	const deadLo, deadHi = 3600, 3799
+	for pos := int64(deadLo); pos <= int64(deadHi); pos++ {
+		if !p0.Col.Delete(h.aeus[0].Core, pos) {
+			t.Fatalf("delete %d failed", pos)
+		}
+	}
+	const dead = deadHi - deadLo + 1
 
 	type result struct {
 		matched uint64
@@ -65,6 +75,7 @@ func TestColumnScanDuringBalance(t *testing.T) {
 		{colstore.Predicate{Op: colstore.Less, Operand: 1000}, 1000},
 		{colstore.Predicate{Op: colstore.Between, Operand: 1500, High: 2500}, 1001},
 		{colstore.Predicate{Op: colstore.Greater, Operand: 3989}, 10},
+		{colstore.Predicate{Op: colstore.Between, Operand: deadLo, High: deadHi}, 0},
 	}
 	scanRound := func(round int) {
 		ob := h.aeus[1].Outbox()
@@ -111,16 +122,53 @@ func TestColumnScanDuringBalance(t *testing.T) {
 	for _, n := range moves {
 		moved += n
 	}
-	if g0, g1 := h.aeus[0].Partition(col).SizeTuples(), h.aeus[1].Partition(col).SizeTuples(); g0 != tuples-moved || g1 != moved {
-		t.Fatalf("tuple split = (%d, %d), want (%d, %d)", g0, g1, tuples-moved, moved)
+	// Moves count positions; the whole tombstoned span rode along, so the
+	// receiver's live count is short by exactly those tombstones.
+	if g0, g1 := h.aeus[0].Partition(col).SizeTuples(), h.aeus[1].Partition(col).SizeTuples(); g0 != tuples-moved || g1 != moved-dead {
+		t.Fatalf("tuple split = (%d, %d), want (%d, %d)", g0, g1, tuples-moved, moved-dead)
 	}
 
 	// The zone-map counters saw every pass: both holders walked blocks for
-	// 4 rounds x 3 scans.
+	// 4 rounds x 4 scans.
 	for _, a := range h.aeus {
 		s := a.colBlocksScanned.Load() + a.colBlocksPruned.Load() + a.colBlocksFullHit.Load()
 		if s == 0 {
 			t.Fatalf("aeu %d recorded no colscan block outcomes", a.ID)
 		}
+	}
+
+	// With the transfers done, a scan over the tombstoned span must be
+	// answered entirely from zone maps: every migrated block was handed
+	// over with a recomputed (tight) summary, so no holder evaluates a
+	// single block (the bug: linked blocks kept their stale widen-only
+	// maps and were re-evaluated on every such scan, forever).
+	preScanned := make([]int64, len(h.aeus))
+	prePruned := make([]int64, len(h.aeus))
+	for i, a := range h.aeus {
+		preScanned[i] = a.colBlocksScanned.Load()
+		prePruned[i] = a.colBlocksPruned.Load()
+	}
+	ob := h.aeus[1].Outbox()
+	const deadTag = 99
+	ob.RouteScan(col, colstore.Predicate{Op: colstore.Between, Operand: deadLo, High: deadHi}, ClientReply, deadTag)
+	ob.Flush()
+	h.step(0)
+	h.step(1)
+	mu.Lock()
+	if r := got[deadTag]; r == nil || r.replies != 2 || r.matched != 0 {
+		mu.Unlock()
+		t.Fatalf("dead-span scan result = %+v, want 2 empty holder replies", got[deadTag])
+	}
+	mu.Unlock()
+	var scannedDelta, prunedDelta int64
+	for i, a := range h.aeus {
+		scannedDelta += a.colBlocksScanned.Load() - preScanned[i]
+		prunedDelta += a.colBlocksPruned.Load() - prePruned[i]
+	}
+	if scannedDelta != 0 {
+		t.Fatalf("dead-span scan evaluated %d blocks; stale zone maps survived the transfer", scannedDelta)
+	}
+	if prunedDelta == 0 {
+		t.Fatal("dead-span scan pruned no blocks; the assertion lost its subject")
 	}
 }

@@ -30,9 +30,22 @@ func (a *AEU) handleBalance(c command.Command) {
 		return
 	}
 	a.abandonStaleEpochs(b.Epoch)
+	dbg("aeu%d obj%d handleBalance epoch=%d new=[%d,%d] fetches=%d", a.ID, c.Object, b.Epoch, b.NewLo, b.NewHi, len(b.Fetches))
 	if p.Kind == routing.RangePartitioned {
+		p.prevLo, p.prevHi, p.prevEpoch = p.Lo, p.Hi, b.Epoch
+		p.prevHoles = p.prevHoles[:0]
+		for _, r := range a.recovering {
+			if r.obj == obj {
+				p.prevHoles = append(p.prevHoles, keyRange{lo: r.lo, hi: r.hi})
+			}
+		}
 		p.Lo, p.Hi = b.NewLo, b.NewHi
 		p.reconArmed = false
+		// Recovering ranges the new bounds no longer cover are foreign now:
+		// their keys forward to the new owner, whose own pending-range
+		// machinery repairs them. Probing for them here would steal the new
+		// owner's live data.
+		a.pruneRecovering(obj, b.NewLo, b.NewHi)
 	}
 	if len(b.Fetches) == 0 {
 		a.ackEpoch(obj, b.Epoch)
@@ -41,7 +54,9 @@ func (a *AEU) handleBalance(c command.Command) {
 	a.pendingFetches[b.Epoch] += len(b.Fetches)
 	for _, f := range b.Fetches {
 		if p.Kind == routing.RangePartitioned {
-			a.pendingRanges = append(a.pendingRanges, pendingRange{lo: f.Lo, hi: f.Hi, epoch: b.Epoch})
+			a.pendingRanges = append(a.pendingRanges, pendingRange{
+				obj: obj, lo: f.Lo, hi: f.Hi, epoch: b.Epoch, from: f.From,
+			})
 		}
 		fetch := f
 		cmd := command.Command{
@@ -74,10 +89,13 @@ func (a *AEU) handleFetch(c command.Command) {
 		})
 		return
 	}
-	if p.Kind == routing.RangePartitioned && a.overlapsPending(f.Lo, f.Hi) {
+	if p.Kind == routing.RangePartitioned &&
+		(a.overlapsPending(f.Lo, f.Hi) || a.overlapsRecovering(obj, f.Lo, f.Hi)) {
 		// Part of the requested range is itself still in flight to this
-		// AEU (back-to-back balancing cycles): defer the fetch until the
-		// inbound transfer lands, otherwise the keys would be skipped.
+		// AEU (back-to-back balancing cycles, or a repair fetch healing a
+		// lost balance command): defer the fetch until the inbound
+		// transfer lands, otherwise the keys would be skipped.
+		dbg("aeu%d obj%d handleFetch DEFER req=aeu%d [%d,%d] tag=%d", a.ID, c.Object, c.Source, f.Lo, f.Hi, c.Tag)
 		a.deferred = append(a.deferred, c)
 		a.deferredCnt.Add(1)
 		return
@@ -86,11 +104,42 @@ func (a *AEU) handleFetch(c command.Command) {
 	target := a.peer(requester)
 	sameNode := target.Node == a.Node
 
-	t := transfer{obj: obj, epoch: c.Tag, from: a.ID, lo: f.Lo, hi: f.Hi}
+	t := transfer{obj: obj, epoch: c.Tag, from: a.ID, lo: f.Lo, hi: f.Hi, auth: true}
 	if p.Kind == routing.SizePartitioned {
 		t.det = p.Col.DetachTail(a.Core, f.Tuples)
+		t.srcCol = p
+		p.colXferGen.Add(1)
+		p.colInFlight.Add(1)
 	} else {
+		// The transfer is authoritative when this AEU's bounds covered the
+		// whole range just before extraction — then every tuple that exists
+		// for it is in the payload. A fetch of the current balancing epoch
+		// is judged against the bounds before that epoch's own shrink (the
+		// normal cycle order: the source's OpBalance lands before the
+		// targets' fetches, with all the data still here). Anything else —
+		// a repair probe to an AEU that only holds orphans, or a fetch that
+		// raced a later cycle — may return a partial or empty payload, and
+		// the requester must keep probing before trusting the range.
+		// Ranges still recovering when that balance arrived are excepted:
+		// the bounds claimed them but the data never came, and a trusted
+		// empty transfer would hand the gap to the next owner as settled.
+		t.auth = f.Lo >= p.Lo && f.Hi <= p.Hi ||
+			(c.Tag != 0 && c.Tag == p.prevEpoch && f.Lo >= p.prevLo && f.Hi <= p.prevHi &&
+				!overlapsHoles(p.prevHoles, f.Lo, f.Hi))
+		// Extraction is the ownership handover: give up the bounds with the
+		// data. Normally the balancer's own OpBalance already shrank them,
+		// but if that command was lost this AEU would otherwise keep
+		// claiming the range and answer misses from the freshly emptied
+		// tree. An extraction fully outside the bounds (repairing orphans
+		// after reconciliation already shrank them) leaves them untouched.
+		oldLo, oldHi := p.Lo, p.Hi
+		if f.Lo <= p.Lo && f.Hi >= p.Lo {
+			p.Lo = f.Hi + 1 // may pass p.Hi: partition now empty, all keys forward
+		} else if f.Hi >= p.Hi && f.Lo <= p.Hi {
+			p.Hi = f.Lo - 1
+		}
 		ex := p.Tree.ExtractRange(a.Core, f.Lo, f.Hi)
+		dbg("aeu%d obj%d handleFetch req=aeu%d [%d,%d] tag=%d extracted=%d auth=%v bounds [%d,%d]->[%d,%d]", a.ID, c.Object, c.Source, f.Lo, f.Hi, c.Tag, ex.Count(), t.auth, oldLo, oldHi, p.Lo, p.Hi)
 		if sameNode {
 			t.ex = ex
 		} else {
@@ -121,6 +170,9 @@ func (a *AEU) receiveTransfers() {
 			// stay in the source's store when linkable (nothing was copied
 			// out) — the conservation checker sees them there.
 			a.xferErrors.Inc()
+			if t.srcCol != nil {
+				t.srcCol.colInFlight.Add(-1)
+			}
 			a.completeFetch(t.obj, t.epoch)
 			continue
 		}
@@ -134,8 +186,135 @@ func (a *AEU) receiveTransfers() {
 				// Chunks live on another node: copy them over.
 				p.Col.CopyDetached(a.Core, t.det, a.mems.Free)
 			}
+			p.colXferGen.Add(1)
+			if t.srcCol != nil {
+				t.srcCol.colInFlight.Add(-1)
+			}
+		}
+		if p.Kind == routing.RangePartitioned {
+			dbg("aeu%d obj%d linked transfer [%d,%d] epoch=%d from=aeu%d auth=%v", a.ID, t.obj, t.lo, t.hi, t.epoch, t.from, t.auth)
+			if t.auth {
+				// The source held everything that exists for the range, so
+				// its landing satisfies any pending or recovering range it
+				// covers — balance fetches and repair fetches alike.
+				a.clearPendingRange(t.obj, t.lo, t.hi)
+				a.clearRecovering(t.obj, t.lo, t.hi)
+			} else {
+				// A non-authoritative payload contributes data (Link is
+				// duplicate-safe) but proves nothing about other holders:
+				// count the answer and let the repair walk decide.
+				a.ackRecovering(t.obj, t.lo, t.hi)
+			}
 		}
 		a.completeFetch(t.obj, t.epoch)
+	}
+}
+
+// clearPendingRange removes [lo, hi] from obj's pending ranges, splitting
+// entries the landed transfer only partially covers. Marking satisfaction
+// per range (not per epoch) is what lets completeFetch tell delivered
+// ranges from lost ones when the epoch closes.
+func (a *AEU) clearPendingRange(obj routing.ObjectID, lo, hi uint64) {
+	if len(a.pendingRanges) == 0 {
+		return
+	}
+	var kept []pendingRange
+	for _, r := range a.pendingRanges {
+		if r.obj != obj || lo > r.hi || hi < r.lo {
+			kept = append(kept, r)
+			continue
+		}
+		if r.lo < lo {
+			kept = append(kept, pendingRange{obj: r.obj, lo: r.lo, hi: lo - 1, epoch: r.epoch, from: r.from})
+		}
+		if r.hi > hi {
+			kept = append(kept, pendingRange{obj: r.obj, lo: hi + 1, hi: r.hi, epoch: r.epoch, from: r.from})
+		}
+	}
+	a.pendingRanges = kept
+}
+
+// clearRecovering removes [lo, hi] from obj's recovering ranges (splitting
+// entries the interval only partially covers) and releases the deferred
+// queue so work parked on the healed range reprocesses.
+func (a *AEU) clearRecovering(obj routing.ObjectID, lo, hi uint64) {
+	if len(a.recovering) == 0 {
+		return
+	}
+	cleared := false
+	var kept []recRange
+	for _, r := range a.recovering {
+		if r.obj != obj || lo > r.hi || hi < r.lo {
+			kept = append(kept, r)
+			continue
+		}
+		cleared = true
+		// Fragments restart their walk: acks were counted against the old
+		// interval and probes from here on use the new one.
+		if r.lo < lo {
+			kept = append(kept, recRange{obj: r.obj, lo: r.lo, hi: lo - 1, from: r.from})
+		}
+		if r.hi > hi {
+			kept = append(kept, recRange{obj: r.obj, lo: hi + 1, hi: r.hi, from: r.from})
+		}
+	}
+	a.recovering = kept
+	if cleared {
+		dbg("aeu%d obj%d clearRecovering [%d,%d]", a.ID, obj, lo, hi)
+		a.repairs.Inc()
+		if len(a.deferred) > 0 {
+			a.requeue = append(a.requeue, a.deferred...)
+			a.deferred = a.deferred[:0]
+		}
+	}
+}
+
+// overlapsHoles reports whether [lo, hi] intersects any of the intervals.
+func overlapsHoles(holes []keyRange, lo, hi uint64) bool {
+	for _, h := range holes {
+		if lo <= h.hi && hi >= h.lo {
+			return true
+		}
+	}
+	return false
+}
+
+// ackRecovering records that a probe's transfer landed: the payload is
+// linked, but a non-authoritative source proves nothing about other copies,
+// so the range is only counted, not cleared — sendRepairs clears it once
+// every peer has answered.
+func (a *AEU) ackRecovering(obj routing.ObjectID, lo, hi uint64) {
+	for i := range a.recovering {
+		r := &a.recovering[i]
+		if r.obj == obj && r.lo == lo && r.hi == hi {
+			r.acks++
+		}
+	}
+}
+
+// pruneRecovering trims recovering ranges of obj to the bounds [lo, hi] just
+// adopted (balance command or reconciliation): parts outside are foreign
+// now, so their deferred commands must reprocess and forward to the owner.
+func (a *AEU) pruneRecovering(obj routing.ObjectID, lo, hi uint64) {
+	changed := false
+	kept := a.recovering[:0]
+	for _, r := range a.recovering {
+		if r.obj != obj || (r.lo >= lo && r.hi <= hi) {
+			kept = append(kept, r)
+			continue
+		}
+		changed = true
+		if nl, nh := max(r.lo, lo), min(r.hi, hi); nl <= nh {
+			dbg("aeu%d obj%d pruneRecovering [%d,%d]->[%d,%d]", a.ID, obj, r.lo, r.hi, nl, nh)
+			kept = append(kept, recRange{obj: r.obj, lo: nl, hi: nh, from: r.from})
+		} else {
+			dbg("aeu%d obj%d pruneRecovering [%d,%d] dropped", a.ID, obj, r.lo, r.hi)
+		}
+	}
+	a.recovering = kept
+	if changed && len(a.deferred) > 0 {
+		a.requeue = append(a.requeue, a.deferred...)
+		a.deferred = a.deferred[:0]
 	}
 }
 
@@ -152,12 +331,19 @@ func (a *AEU) completeFetch(obj routing.ObjectID, epoch uint64) {
 		return
 	}
 	delete(a.pendingFetches, epoch)
-	// Drop this epoch's pending ranges.
+	// Pending ranges whose transfer landed were already cleared; anything of
+	// this epoch still listed never got its data (the fetch was answered
+	// with an error, or the payload had nowhere to link). Keep the bounds —
+	// the routing tables already point here — but repair the gap instead of
+	// serving misses for keys that still sit at the source.
 	kept := a.pendingRanges[:0]
 	for _, r := range a.pendingRanges {
 		if r.epoch != epoch {
 			kept = append(kept, r)
+			continue
 		}
+		dbg("aeu%d obj%d completeFetch epoch=%d UNSATISFIED [%d,%d] from=aeu%d -> recovering", a.ID, r.obj, epoch, r.lo, r.hi, r.from)
+		a.recovering = append(a.recovering, recRange{obj: r.obj, lo: r.lo, hi: r.hi, from: r.from})
 	}
 	a.pendingRanges = kept
 	// Release deferred commands for reprocessing.
@@ -262,7 +448,14 @@ func (a *AEU) abandonStaleEpochs(current uint64) {
 	for _, r := range a.pendingRanges {
 		if r.epoch >= current {
 			kept = append(kept, r)
+			continue
 		}
+		// The grant stands (routing tables already point here) but its data
+		// never arrived — the fetch or transfer was eaten by a fault. Repair
+		// with a direct fetch rather than serving misses from the empty
+		// range while the tuples sit orphaned at the source.
+		dbg("aeu%d obj%d abandon epoch=%d UNSATISFIED [%d,%d] from=aeu%d -> recovering", a.ID, r.obj, r.epoch, r.lo, r.hi, r.from)
+		a.recovering = append(a.recovering, recRange{obj: r.obj, lo: r.lo, hi: r.hi, from: r.from})
 	}
 	a.pendingRanges = kept
 	if len(a.deferred) > 0 {
@@ -295,31 +488,30 @@ const reconcileEvery = 1024
 // which only the balancer knows. It reports whether any partition was
 // realigned or newly flagged (Settle uses this to run another round).
 func (a *AEU) reconcileBounds() bool {
+	repaired := a.sendRepairs()
 	if len(a.pendingFetches) > 0 || len(a.pendingRanges) > 0 || a.mailCnt.Load() > 0 {
-		return false
+		return repaired
 	}
 	progress := false
 	for _, p := range a.partList {
 		if p.Kind != routing.RangePartitioned {
 			continue
 		}
-		entries := a.router.OwnerEntries(p.Object)
-		idx := int(a.ID)
-		if idx >= len(entries) || entries[idx].Owner != a.ID {
+		lo, hi, ok := a.assignedRange(p)
+		if !ok {
 			p.reconArmed = false
 			continue
-		}
-		lo, hi := entries[idx].Low, p.Hi
-		if idx+1 < len(entries) {
-			hi = entries[idx+1].Low - 1
 		}
 		if p.Lo == lo && p.Hi == hi {
 			p.reconArmed = false
 			continue
 		}
 		if p.reconArmed && p.reconLo == lo && p.reconHi == hi {
+			dbg("aeu%d obj%d reconcile adopt [%d,%d]->[%d,%d]", a.ID, p.Object, p.Lo, p.Hi, lo, hi)
+			a.noteRecoveryGrowth(p, lo, hi)
 			p.Lo, p.Hi = lo, hi
 			p.reconArmed = false
+			a.pruneRecovering(p.Object, lo, hi)
 			a.boundsFixed.Inc()
 			progress = true
 			continue
@@ -327,7 +519,165 @@ func (a *AEU) reconcileBounds() bool {
 		p.reconLo, p.reconHi, p.reconArmed = lo, hi, true
 		progress = true
 	}
+	return progress || repaired
+}
+
+// assignedRange returns this AEU's key range for p per the current routing
+// tables; ok is false when the tables list no range for it. The high bound
+// of the last owner falls back to the partition's own: the table cannot
+// distinguish it from the domain end, which only the balancer knows.
+func (a *AEU) assignedRange(p *Partition) (lo, hi uint64, ok bool) {
+	entries := a.router.OwnerEntries(p.Object)
+	idx := int(a.ID)
+	if idx >= len(entries) || entries[idx].Owner != a.ID {
+		return 0, 0, false
+	}
+	lo, hi = entries[idx].Low, p.Hi
+	if idx+1 < len(entries) {
+		hi = entries[idx+1].Low - 1
+	}
+	return lo, hi, true
+}
+
+// noteRecoveryGrowth marks the parts of the adopted bounds [lo, hi] that
+// the old bounds did not cover as recovering: the balance command granting
+// them was lost, so their tuples never transferred and still sit in the
+// adjacent previous owner's tree (ordered ownership keeps AEU ranges
+// contiguous, so growth on the low side came from AEU ID-1 and growth on
+// the high side from AEU ID+1). Without this, the AEU would serve misses
+// for keys that exist and accept writes that collide with the data when a
+// later cycle finally re-transfers the range.
+func (a *AEU) noteRecoveryGrowth(p *Partition, lo, hi uint64) {
+	if lo < p.Lo && a.ID > 0 {
+		end := hi
+		if p.Lo-1 < end {
+			end = p.Lo - 1
+		}
+		a.recovering = append(a.recovering, recRange{obj: p.Object, lo: lo, hi: end, from: a.ID - 1})
+	}
+	if hi > p.Hi && int(a.ID)+1 < len(a.peers) {
+		start := lo
+		if p.Hi+1 > start {
+			start = p.Hi + 1
+		}
+		a.recovering = append(a.recovering, recRange{obj: p.Object, lo: start, hi: hi, from: a.ID + 1})
+	}
+}
+
+// repairStallSweeps is how many reconcile sweeps a fully-probed but not
+// fully-acknowledged recovering range waits before restarting its walk: a
+// probe fetch can be eaten by the same faults that opened the gap, and
+// probes are idempotent (the repeat extract finds nothing, Link tolerates
+// overlap), so retrying until the rule-limited injector runs dry is safe.
+const repairStallSweeps = 4
+
+// maxProbes is the length of a repair walk: every peer except this AEU.
+func (a *AEU) maxProbes() uint8 {
+	n := len(a.peers)
+	if n <= 1 {
+		return 0
+	}
+	if n > 256 {
+		n = 256
+	}
+	return uint8(n - 1)
+}
+
+// probeTarget returns the try-th stop of a recovering range's walk: the
+// recorded likely holder first, then every other peer in ID order.
+func (a *AEU) probeTarget(r *recRange, try uint8) uint32 {
+	if try == 0 {
+		return r.from
+	}
+	i := uint8(0)
+	for id := uint32(0); int(id) < len(a.peers); id++ {
+		if id == a.ID || id == r.from {
+			continue
+		}
+		i++
+		if i == try {
+			return id
+		}
+	}
+	return r.from
+}
+
+// sendRepairs advances every recovering range's repair walk by one probe —
+// a zero-epoch fetch riding the regular transfer machinery (extract, ship,
+// link), so no balancer cycle is involved — and clears ranges whose walk
+// completed: every peer probed, every probe's payload landed. An
+// authoritative transfer short-circuits the walk in receiveTransfers.
+// Ranges the routing tables currently assign elsewhere are left untouched
+// (probing would steal the new owner's live data); the bounds prune on the
+// next balance or reconcile adoption disposes of them. It reports whether
+// any walk advanced.
+func (a *AEU) sendRepairs() bool {
+	if len(a.recovering) == 0 {
+		return false
+	}
+	maxTries := a.maxProbes()
+	progress := false
+	cleared := false
+	kept := a.recovering[:0]
+	for i := range a.recovering {
+		r := a.recovering[i]
+		p := a.parts[r.obj]
+		if p == nil {
+			continue
+		}
+		if alo, ahi, ok := a.assignedRange(p); !ok || r.lo < alo || r.hi > ahi {
+			kept = append(kept, r)
+			continue
+		}
+		switch {
+		case r.tries < maxTries:
+			tgt := a.probeTarget(&r, r.tries)
+			r.tries++
+			if tgt == a.ID {
+				r.acks++ // nothing to ask: any local data is already linked
+			} else {
+				dbg("aeu%d obj%d sendRepair probe=%d/%d [%d,%d] -> aeu%d", a.ID, r.obj, r.tries, maxTries, r.lo, r.hi, tgt)
+				f := command.Fetch{From: tgt, Lo: r.lo, Hi: r.hi}
+				a.Outbox().Send(tgt, &command.Command{
+					Op: command.OpFetch, Object: uint32(r.obj), Source: a.ID,
+					ReplyTo: command.NoReply, Fetch: &f,
+				})
+			}
+			progress = true
+			kept = append(kept, r)
+		case r.acks >= r.tries:
+			// Walk complete: whatever any peer held for the range is linked
+			// here now, so the range is safe to serve.
+			dbg("aeu%d obj%d repair walk done [%d,%d]", a.ID, r.obj, r.lo, r.hi)
+			a.repairs.Inc()
+			cleared = true
+			progress = true
+		default:
+			if r.stall++; r.stall >= repairStallSweeps {
+				r.tries, r.acks, r.stall = 0, 0, 0
+				progress = true
+			}
+			kept = append(kept, r)
+		}
+	}
+	a.recovering = kept
+	if cleared && len(a.deferred) > 0 {
+		a.requeue = append(a.requeue, a.deferred...)
+		a.deferred = a.deferred[:0]
+	}
 	return progress
+}
+
+// ColXferState returns this AEU's column-transfer generation and in-flight
+// payload count for obj (zero when it holds no partition of it). Client
+// scans sum the readings across AEUs before and after a fan-out: equal sums
+// with nothing in flight mean no rebalancing overlapped the scan, so every
+// tuple was observed exactly once.
+func (a *AEU) ColXferState(obj routing.ObjectID) (gen, inflight int64) {
+	if p := a.parts[obj]; p != nil {
+		return p.colXferGen.Load(), p.colInFlight.Load()
+	}
+	return 0, 0
 }
 
 // RegisterPeers wires the AEU set of one engine so fetch handlers can

@@ -154,6 +154,60 @@ func TestLiveDeadlineSurvivesDeferral(t *testing.T) {
 	}
 }
 
+// TestMixedDeadlineGroupExpiresOnlyCarriers batches two NoReply upserts
+// from different sources into one coalesced group: one carries an already
+// passed deadline, the other none. The group must be processed as
+// per-deadline sub-batches so that, after deferral across a transfer,
+// only the deadline-carrying member expires (the bug: mergeDeadline
+// stamped the earliest non-zero deadline on the whole group, so the
+// deadline-free write expired with it and was silently lost).
+func TestMixedDeadlineGroupExpiresOnlyCarriers(t *testing.T) {
+	h := newHarness(t, topology.SingleNode(2), 2, 1000)
+	a1 := h.aeus[1]
+	pendBalance(a1)
+
+	past := uint64(time.Now().Add(-time.Millisecond).UnixNano())
+	a1.classify(command.Command{
+		Op: command.OpUpsert, Object: uint32(testObj), Source: 0,
+		ReplyTo: command.NoReply,
+		KVs:     []prefixtree.KV{{Key: 450, Value: 7}},
+	})
+	a1.classify(command.Command{
+		Op: command.OpUpsert, Object: uint32(testObj), Source: 1,
+		ReplyTo: command.NoReply, Deadline: past,
+		KVs: []prefixtree.KV{{Key: 460, Value: 9}},
+	})
+	// NoReply zeroes tag and source in the group key: both commands share
+	// one group despite their different deadlines.
+	if len(a1.order) != 1 {
+		t.Fatalf("groups = %d, want 1 coalesced group", len(a1.order))
+	}
+	a1.processGroups()
+	// Both keys sit in the pending range, but the members disagree on the
+	// deadline: they must be deferred as two uniform commands, not one
+	// merged one.
+	if len(a1.deferred) != 2 {
+		t.Fatalf("deferred = %d, want 2 per-deadline commands", len(a1.deferred))
+	}
+
+	// The transfer lands and the requeue drain runs: the deadline-free
+	// write applies, the expired one is dropped and counted.
+	a1.Outbox().Flush()
+	h.step(0)
+	h.step(1)
+	a1.drainRequeue()
+	a1.processGroups()
+	if v, ok := a1.Partition(testObj).Tree.Lookup(a1.Core, 450, 1); !ok || v != 7 {
+		t.Fatalf("deadline-free write lost to a batchmate's deadline: (%d,%v)", v, ok)
+	}
+	if _, ok := a1.Partition(testObj).Tree.Lookup(a1.Core, 460, 1); ok {
+		t.Fatal("expired upsert was applied")
+	}
+	if n := a1.expired.Load(); n != 1 {
+		t.Fatalf("expired counter = %d, want 1", n)
+	}
+}
+
 // TestUnknownOpAnswered sends a data command with an op this loop does not
 // serve; a requester waiting on it must get an error reply instead of a
 // silent drop (the bug: the default branch only counted and dropped).

@@ -1,0 +1,25 @@
+package aeu
+
+// Balance-path debug tracing, enabled with ERIS_DEBUG_BALANCE=1. Meant for
+// chasing fault-injection bugs: every ownership-changing event (balance
+// commands, fetches, transfers, abandons, reconciliation, repairs) is
+// stamped to stderr with a nanosecond clock so a failing history can be
+// aligned with the control-plane timeline.
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+var debugBal = os.Getenv("ERIS_DEBUG_BALANCE") != ""
+
+var debugEpoch = time.Now()
+
+func dbg(format string, args ...any) {
+	if !debugBal {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%12.6f "+format+"\n",
+		append([]any{time.Since(debugEpoch).Seconds()}, args...)...)
+}

@@ -126,8 +126,27 @@ func (a *AEU) classify(c command.Command) {
 			k.tag = a.noCoSeq
 		}
 		g := a.group(k)
+		before := len(g.keys) + len(g.kvs)
+		if !g.mixedDeadlines() && before > 0 && c.Deadline != g.deadline {
+			// First disagreement: NoReply coalescing batched commands from
+			// different sources with different deadlines. Materialize the
+			// per-member deadlines so expiry can answer exactly the members
+			// whose deadline passed — merging would let one stale member
+			// expire the whole batch, silently dropping deadline-free
+			// writes. Mixed batches are rare (cross-source coalescing only),
+			// so the extra bookkeeping stays off the common path.
+			for i := 0; i < before; i++ {
+				g.dls = append(g.dls, g.deadline)
+			}
+		}
 		g.keys = append(g.keys, c.Keys...)
 		g.kvs = append(g.kvs, c.KVs...)
+		if g.mixedDeadlines() {
+			after := len(g.keys) + len(g.kvs)
+			for i := before; i < after; i++ {
+				g.dls = append(g.dls, c.Deadline)
+			}
+		}
 		g.deadline = mergeDeadline(g.deadline, c.Deadline)
 	case command.OpScan:
 		k := groupKey{obj: routing.ObjectID(c.Object), op: c.Op}
@@ -268,6 +287,7 @@ func (a *AEU) releaseGroup(k groupKey, g *group) {
 	g.scans = g.scans[:0]
 	g.scanKeys = g.scanKeys[:0]
 	g.deadline = 0
+	g.dls = g.dls[:0]
 	a.groupFree = append(a.groupFree, g)
 }
 
@@ -277,6 +297,13 @@ func (a *AEU) processGroups() {
 	for _, k := range a.order {
 		g := a.groups[k]
 		p := a.parts[k.obj]
+		if g.mixedDeadlines() {
+			// Members disagree on their deadline: split into per-deadline
+			// sub-batches so deferral and expiry stay per-member.
+			a.processMixed(k, g, p)
+			a.releaseGroup(k, g)
+			continue
+		}
 		if p == nil {
 			// The AEU holds no partition of this object (e.g. freshly
 			// rebalanced away); forward everything.
@@ -304,14 +331,61 @@ func (a *AEU) processGroups() {
 	a.order = a.order[:0]
 }
 
+// processMixed executes a group whose members carry different deadlines by
+// partitioning it into per-deadline sub-batches and dispatching each through
+// the uniform-deadline path. Only NoReply cross-source coalescing produces
+// such groups, so the sub-group allocation is off the steady-state path.
+func (a *AEU) processMixed(k groupKey, g *group, p *Partition) {
+	subs := map[uint64]*group{}
+	var order []uint64
+	sub := func(dl uint64) *group {
+		sg := subs[dl]
+		if sg == nil {
+			sg = &group{deadline: dl}
+			subs[dl] = sg
+			order = append(order, dl)
+		}
+		return sg
+	}
+	for i, key := range g.keys {
+		sg := sub(g.dls[i])
+		sg.keys = append(sg.keys, key)
+	}
+	for i, kv := range g.kvs {
+		sg := sub(g.dls[len(g.keys)+i])
+		sg.kvs = append(sg.kvs, kv)
+	}
+	for _, dl := range order {
+		sg := subs[dl]
+		if p == nil {
+			a.forwardGroup(k, sg)
+			continue
+		}
+		start := a.machine.Clock(a.Core)
+		switch k.op {
+		case command.OpLookup:
+			a.processLookups(k, sg, p)
+		case command.OpUpsert:
+			a.processUpserts(k, sg, p)
+		case command.OpDelete:
+			a.processDeletes(k, sg, p)
+		}
+		elapsed := a.machine.Clock(a.Core) - start
+		p.cmdTimePS.Add(elapsed)
+		p.cmdCount.Add(1)
+		a.groupNS.Observe(elapsed / 1000)
+	}
+}
+
 // splitValid partitions keys into in-range, pending and foreign sets using
-// the partition bounds and the pending transfer ranges.
+// the partition bounds, the pending transfer ranges and the ranges still
+// recovering from a lost balance command.
 func (a *AEU) splitValid(p *Partition, keys []uint64, valid *[]uint64, deferredIdx *[]int, foreign *[]uint64) {
 	for i, key := range keys {
 		switch {
 		case key < p.Lo || key > p.Hi:
 			*foreign = append(*foreign, key)
-		case a.inPendingRange(key):
+		case a.inPendingRange(key) || a.inRecovering(p.Object, key):
 			*deferredIdx = append(*deferredIdx, i)
 		default:
 			*valid = append(*valid, key)
@@ -322,6 +396,26 @@ func (a *AEU) splitValid(p *Partition, keys []uint64, valid *[]uint64, deferredI
 func (a *AEU) inPendingRange(key uint64) bool {
 	for _, r := range a.pendingRanges {
 		if key >= r.lo && key <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *AEU) inRecovering(obj routing.ObjectID, key uint64) bool {
+	for _, r := range a.recovering {
+		if r.obj == obj && key >= r.lo && key <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// overlapsRecovering reports whether [lo, hi] intersects a range whose data
+// is still being repaired after a lost balance command.
+func (a *AEU) overlapsRecovering(obj routing.ObjectID, lo, hi uint64) bool {
+	for _, r := range a.recovering {
+		if r.obj == obj && lo <= r.hi && hi >= r.lo {
 			return true
 		}
 	}
@@ -427,7 +521,7 @@ func (a *AEU) processUpserts(k groupKey, g *group, p *Partition) {
 		switch {
 		case kv.Key < p.Lo || kv.Key > p.Hi:
 			foreign = append(foreign, kv)
-		case a.inPendingRange(kv.Key):
+		case a.inPendingRange(kv.Key) || a.inRecovering(p.Object, kv.Key):
 			pend = append(pend, kv)
 		default:
 			validKVs = append(validKVs, kv)
@@ -531,10 +625,11 @@ func (a *AEU) processIndexScans(g *group, p *Partition) {
 				hi = c.Keys[1]
 			}
 		}
-		if lo <= hi && a.overlapsPending(lo, hi) {
+		if lo <= hi && (a.overlapsPending(lo, hi) || a.overlapsRecovering(p.Object, lo, hi)) {
 			// Part of the effective range was granted to this AEU but its
-			// tuples are still in transit; answering now would silently
-			// miss them. Defer the scan until the transfer lands.
+			// tuples are still in transit (or still being repaired after a
+			// lost balance command); answering now would silently miss
+			// them. Defer the scan until the data lands.
 			a.deferred = append(a.deferred, c.Clone())
 			a.deferredCnt.Add(1)
 			continue

@@ -1,0 +1,289 @@
+package aeu
+
+// Deterministic regression tests for the lost-balance recovery machinery:
+// reconcile adoption marking granted-but-never-transferred ranges as
+// recovering, the peer-walk repair probes that pull the orphaned tuples
+// back, and the authority rules that decide which transfers may confirm a
+// range. The chaos suite exercises the same paths under random faults;
+// these tests pin the exact state transitions so a refactor that weakens
+// one of them fails here with a readable story instead of a rare
+// linearizability violation.
+
+import (
+	"sync"
+	"testing"
+
+	"eris/internal/command"
+	"eris/internal/csbtree"
+	"eris/internal/prefixtree"
+	"eris/internal/topology"
+)
+
+// settleAll runs Settle rounds over every AEU until a full round does no
+// work (or the round budget runs out — deterministic tests should converge
+// in a handful of sweeps).
+func (h *harness) settleAll(t *testing.T, rounds int) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		busy := false
+		for _, a := range h.aeus {
+			if a.Settle() {
+				busy = true
+			}
+		}
+		if !busy {
+			return
+		}
+	}
+	t.Fatalf("settleAll: still busy after %d rounds", rounds)
+}
+
+// seed upserts kvs through the routing layer and lets every AEU absorb them.
+func (h *harness) seed(t *testing.T, kvs []prefixtree.KV) {
+	t.Helper()
+	h.aeus[0].Outbox().RouteUpsert(testObj, kvs, command.NoReply, 0)
+	h.aeus[0].Outbox().Flush()
+	h.settleAll(t, 20)
+}
+
+// TestReconcileRepairHealsLostBalance replays the failure the chaos suite
+// kept finding before the repair machinery existed: the balancer updates
+// the routing table and shrinks the source, but the OpBalance granting
+// [250,299] to AEU 1 is lost. AEU 1 must (a) adopt the table bounds via
+// reconciliation, (b) defer lookups for the granted range instead of
+// serving misses, and (c) walk its peers with probe fetches until the
+// orphaned tuples are extracted from AEU 0 and linked locally.
+func TestReconcileRepairHealsLostBalance(t *testing.T) {
+	h := newHarness(t, topology.SingleNode(3), 3, 900)
+	kvs := make([]prefixtree.KV, 0, 50)
+	for k := uint64(250); k < 300; k++ {
+		kvs = append(kvs, prefixtree.KV{Key: k, Value: k * 7})
+	}
+	h.seed(t, kvs)
+	if got := h.aeus[0].Partition(testObj).Tree.Count(); got != 50 {
+		t.Fatalf("seed landed %d keys on aeu0, want 50", got)
+	}
+
+	var mu sync.Mutex
+	var results []prefixtree.KV
+	for _, a := range h.aeus {
+		a.SetClientResult(func(tag uint64, from uint32, kvs []prefixtree.KV, answered int, err error) {
+			mu.Lock()
+			results = append(results, kvs...)
+			mu.Unlock()
+		})
+	}
+
+	// The balancer's view: [250,299] moves from AEU 0 to AEU 1. Tables
+	// update first, the source processes its shrink, and the target's
+	// OpBalance (with the fetch list) is eaten by a fault.
+	if err := h.router.UpdateRange(testObj, []csbtree.Entry{
+		{Low: 0, Owner: 0}, {Low: 250, Owner: 1}, {Low: 600, Owner: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.aeus[0].handleBalance(command.Command{
+		Op: command.OpBalance, Object: uint32(testObj), Source: 0,
+		Balance: &command.Balance{Epoch: 1, NewLo: 0, NewHi: 249},
+	})
+
+	// Reconciliation needs two sweeps observing the same table bounds
+	// before adopting; run them one at a time so we can catch the moment
+	// the recovering range exists but no probe answered yet.
+	a1 := h.aeus[1]
+	for i := 0; i < 10 && len(a1.recovering) == 0; i++ {
+		a1.Settle()
+	}
+	if len(a1.recovering) != 1 {
+		t.Fatalf("recovering = %+v, want one entry after adoption", a1.recovering)
+	}
+	if r := a1.recovering[0]; r.lo != 250 || r.hi != 299 || r.from != 0 {
+		t.Fatalf("recovering = %+v, want [250,299] from aeu0", r)
+	}
+	if p := a1.Partition(testObj); p.Lo != 250 || p.Hi != 599 {
+		t.Fatalf("aeu1 bounds [%d,%d], want adopted [250,599]", p.Lo, p.Hi)
+	}
+
+	// A lookup for the recovering range must be deferred, not answered
+	// from the still-empty tree.
+	a1.Outbox().RouteLookup(testObj, []uint64{260}, ClientReply, 1)
+	a1.Outbox().Flush()
+	a1.Settle()
+	mu.Lock()
+	if len(results) != 0 {
+		t.Fatalf("lookup answered during recovery: %+v", results)
+	}
+	mu.Unlock()
+
+	// Let the probe walk run: AEU 0's bounds no longer cover the range, so
+	// its transfer is non-authoritative; the walk must still complete (all
+	// peers probed, all payloads landed) and then release the deferred
+	// lookup.
+	h.settleAll(t, 50)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(results) != 1 || results[0].Key != 260 || results[0].Value != 260*7 {
+		t.Fatalf("deferred lookup results = %+v, want key 260 value %d", results, 260*7)
+	}
+	if len(a1.recovering) != 0 {
+		t.Fatalf("recovering not cleared: %+v", a1.recovering)
+	}
+	if got := a1.repairs.Load(); got != 1 {
+		t.Fatalf("repairs counter = %d, want 1", got)
+	}
+	if got := a1.Partition(testObj).Tree.Count(); got != 50 {
+		t.Fatalf("aeu1 tree count = %d, want the 50 repaired keys", got)
+	}
+	if got := h.aeus[0].Partition(testObj).Tree.Count(); got != 0 {
+		t.Fatalf("aeu0 still holds %d orphaned keys", got)
+	}
+}
+
+// TestRepairWalkFindsMisattributedOrphans pins the walk part of the repair:
+// the recovering entry's recorded holder is wrong (AEU 0), the data sits at
+// AEU 2, and the probe walk must reach it anyway instead of trusting the
+// first empty answer.
+func TestRepairWalkFindsMisattributedOrphans(t *testing.T) {
+	h := newHarness(t, topology.SingleNode(3), 3, 900)
+	kvs := make([]prefixtree.KV, 0, 50)
+	for k := uint64(600); k < 650; k++ {
+		kvs = append(kvs, prefixtree.KV{Key: k, Value: k + 1})
+	}
+	h.seed(t, kvs)
+
+	// [600,649] now belongs to AEU 1 per the tables and AEU 1's bounds, but
+	// the tuples never moved: AEU 2 shrank past them (its balance applied)
+	// while AEU 1's fetch was lost, and the recovering entry blames the
+	// wrong peer.
+	if err := h.router.UpdateRange(testObj, []csbtree.Entry{
+		{Low: 0, Owner: 0}, {Low: 300, Owner: 1}, {Low: 650, Owner: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a1, a2 := h.aeus[1], h.aeus[2]
+	a1.Partition(testObj).Hi = 649
+	a2.Partition(testObj).Lo = 650
+	a1.recovering = append(a1.recovering, recRange{obj: testObj, lo: 600, hi: 649, from: 0})
+
+	h.settleAll(t, 50)
+	if len(a1.recovering) != 0 {
+		t.Fatalf("recovering not cleared: %+v", a1.recovering)
+	}
+	if got := a1.Partition(testObj).Tree.Count(); got != 50 {
+		t.Fatalf("aeu1 tree count = %d, want 50 repaired keys", got)
+	}
+	if got := a2.Partition(testObj).Tree.Count(); got != 0 {
+		t.Fatalf("aeu2 still holds %d orphaned keys", got)
+	}
+}
+
+// TestTransferAuthorityRespectsHoles pins the authority rule for transfers
+// served against pre-shrink bounds: a fetch tagged with the current balance
+// epoch is trusted when the old bounds covered it — unless the range was
+// itself still recovering when that balance arrived. Bounds that claim data
+// which never arrived must not mint an authoritative (possibly empty)
+// transfer, or the hole propagates to the next owner as settled state.
+func TestTransferAuthorityRespectsHoles(t *testing.T) {
+	h := newHarness(t, topology.SingleNode(3), 3, 900)
+	a1, a2 := h.aeus[1], h.aeus[2]
+
+	// AEU 1 owns [300,599] but [400,449] is a hole: granted by an earlier
+	// cycle, data never arrived, repair still in flight.
+	a1.recovering = append(a1.recovering, recRange{obj: testObj, lo: 400, hi: 449, from: 0})
+	a1.handleBalance(command.Command{
+		Op: command.OpBalance, Object: uint32(testObj), Source: 1,
+		Balance: &command.Balance{Epoch: 7, NewLo: 500, NewHi: 599},
+	})
+	p := a1.Partition(testObj)
+	if p.prevLo != 300 || p.prevHi != 599 || p.prevEpoch != 7 {
+		t.Fatalf("prev bounds [%d,%d] epoch %d, want [300,599] epoch 7", p.prevLo, p.prevHi, p.prevEpoch)
+	}
+	if len(p.prevHoles) != 1 {
+		t.Fatalf("prevHoles = %+v, want the recovering range snapshot", p.prevHoles)
+	}
+	if len(a1.recovering) != 0 {
+		t.Fatalf("recovering = %+v, want pruned after shrink past it", a1.recovering)
+	}
+
+	// Epoch-7 fetch of the hole: pre-shrink bounds covered it, but the
+	// snapshot says the data never arrived — must be non-authoritative.
+	a1.handleFetch(command.Command{
+		Op: command.OpFetch, Object: uint32(testObj), Source: 2, Tag: 7,
+		Fetch: &command.Fetch{From: 1, Lo: 400, Hi: 449},
+	})
+	// Epoch-7 fetch of a hole-free part of the pre-shrink bounds: the
+	// normal handover path, authoritative.
+	a1.handleFetch(command.Command{
+		Op: command.OpFetch, Object: uint32(testObj), Source: 2, Tag: 7,
+		Fetch: &command.Fetch{From: 1, Lo: 300, Hi: 399},
+	})
+	// Zero-epoch probe of the same range: repair fetches never claim
+	// authority from pre-shrink bounds.
+	a1.handleFetch(command.Command{
+		Op: command.OpFetch, Object: uint32(testObj), Source: 2, Tag: 0,
+		Fetch: &command.Fetch{From: 1, Lo: 300, Hi: 399},
+	})
+
+	a2.mailMu.Lock()
+	defer a2.mailMu.Unlock()
+	if len(a2.mail) != 3 {
+		t.Fatalf("aeu2 received %d transfers, want 3", len(a2.mail))
+	}
+	if a2.mail[0].auth {
+		t.Fatal("transfer over a recovering hole marked authoritative")
+	}
+	if !a2.mail[1].auth {
+		t.Fatal("pre-shrink-bounds transfer of the current epoch not authoritative")
+	}
+	if a2.mail[2].auth {
+		t.Fatal("zero-epoch probe transfer marked authoritative")
+	}
+}
+
+// TestNonAuthTransferDoesNotConfirm pins receive-side authority handling: a
+// non-authoritative transfer links its payload (duplicate-safe) and counts
+// as a probe acknowledgement, but must not clear the recovering range — only
+// an authoritative transfer or walk exhaustion may do that.
+func TestNonAuthTransferDoesNotConfirm(t *testing.T) {
+	h := newHarness(t, topology.SingleNode(3), 3, 900)
+	a1 := h.aeus[1]
+	a1.recovering = append(a1.recovering, recRange{obj: testObj, lo: 400, hi: 449, from: 0, tries: 1})
+
+	a1.deliverTransfer(transfer{obj: testObj, from: 0, lo: 400, hi: 449})
+	a1.receiveTransfers()
+	if len(a1.recovering) != 1 {
+		t.Fatalf("recovering = %+v, want entry kept after non-auth transfer", a1.recovering)
+	}
+	if r := a1.recovering[0]; r.acks != 1 {
+		t.Fatalf("acks = %d, want 1 (probe answered)", r.acks)
+	}
+
+	a1.deliverTransfer(transfer{obj: testObj, from: 0, lo: 400, hi: 449, auth: true})
+	a1.receiveTransfers()
+	if len(a1.recovering) != 0 {
+		t.Fatalf("recovering = %+v, want cleared by authoritative transfer", a1.recovering)
+	}
+}
+
+// TestPruneRecoveringTrimsToBounds pins the bounds prune: entries outside
+// newly adopted bounds are dropped (their keys forward to the new owner),
+// intersecting entries are trimmed and restart their walk.
+func TestPruneRecoveringTrimsToBounds(t *testing.T) {
+	h := newHarness(t, topology.SingleNode(2), 2, 1000)
+	a0 := h.aeus[0]
+	a0.recovering = append(a0.recovering,
+		recRange{obj: testObj, lo: 100, hi: 199, from: 1, tries: 2, acks: 1},
+		recRange{obj: testObj, lo: 700, hi: 799, from: 1},
+	)
+	a0.pruneRecovering(testObj, 150, 499)
+	if len(a0.recovering) != 1 {
+		t.Fatalf("recovering = %+v, want one trimmed entry", a0.recovering)
+	}
+	r := a0.recovering[0]
+	if r.lo != 150 || r.hi != 199 {
+		t.Fatalf("trimmed to [%d,%d], want [150,199]", r.lo, r.hi)
+	}
+	if r.tries != 0 || r.acks != 0 {
+		t.Fatalf("walk counters not reset on trim: %+v", r)
+	}
+}

@@ -263,10 +263,7 @@ func (c *Client) do(ctx context.Context, req *wire.Msg) (wire.Msg, error) {
 		if attempt >= c.opts.OverloadRetries {
 			return wire.Msg{}, err
 		}
-		wait := c.opts.RetryBackoff << attempt
-		if cap := c.opts.RetryBackoff * retryCapIntervals; wait > cap {
-			wait = cap
-		}
+		wait := backoffFor(c.opts.RetryBackoff, attempt)
 		if hasDeadline && time.Now().Add(wait).After(deadline) {
 			// The backoff would outlive the deadline: the retry cannot
 			// possibly succeed in time, report the timeout now.
@@ -282,6 +279,31 @@ func (c *Client) do(ctx context.Context, req *wire.Msg) (wire.Msg, error) {
 			return wire.Msg{}, ctx.Err()
 		}
 	}
+}
+
+// backoffFor returns the capped exponential backoff preceding overload
+// retry attempt (0-based: the wait before the first retry is the base).
+// Doubling stops the moment the cap is reached instead of shifting
+// blindly, so a raised OverloadRetries can never overflow the backoff
+// into a negative or absurd sleep — `base << attempt` goes negative past
+// attempt ~34 for the default base, which used to slip under the clamp
+// and turn the backoff into a zero-wait retry storm that also bypassed
+// the deadline-crossing check.
+func backoffFor(base time.Duration, attempt int) time.Duration {
+	maxWait := base * retryCapIntervals
+	if maxWait < base {
+		// The cap itself overflowed (absurd configured base): the base is
+		// already beyond any useful wait, use it as its own cap.
+		maxWait = base
+	}
+	wait := base
+	for i := 0; i < attempt; i++ {
+		wait <<= 1
+		if wait >= maxWait || wait <= 0 {
+			return maxWait
+		}
+	}
+	return wait
 }
 
 // roundTrip sends one tagged request and waits for its response, the

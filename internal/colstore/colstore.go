@@ -97,6 +97,21 @@ func (b *block) noteInsert(v uint64) {
 	b.sum += v
 }
 
+// recompute rebuilds the zone map and sum from the live slots. The
+// incremental maps are widen-only (deletes never narrow them), so a block
+// that tombstoned its extremes carries a stale superset; transfers
+// recompute before handing a block over so the receiving AEU's scans
+// regain pruning and full-hit eligibility.
+func (b *block) recompute() {
+	b.zmin, b.zmax, b.sum = ^uint64(0), 0, 0
+	for i := 0; i < b.used; i++ {
+		if b.delGet(i) {
+			continue
+		}
+		b.noteInsert(b.data[i])
+	}
+}
+
 // Column is one partition of a columnar data object.
 //
 // A Column is owned by a single AEU in ERIS; the mutex only matters for the
@@ -736,7 +751,16 @@ func (c *Column) DetachTail(core topology.CoreID, n int64) *Detached {
 	for n > 0 && len(c.blocks) > 0 {
 		last := &c.blocks[len(c.blocks)-1]
 		if int64(last.used) <= n {
-			// Unlink the whole block.
+			// Unlink the whole block. A block carrying tombstones first
+			// re-derives its summary from the surviving slots: the
+			// widen-only zone map may be stale around deleted extremes,
+			// and handing over a tight one restores the new holder's
+			// pruning and full-hit eligibility (a linked block keeps the
+			// map forever; a copied one is compacted anyway).
+			if last.dead > 0 {
+				c.machine.Stream(core, last.mem.Home, int64(last.used)*8)
+				last.recompute()
+			}
 			d.blocks = append(d.blocks, *last)
 			d.count += int64(last.used)
 			d.dead += int64(last.dead)

@@ -1,0 +1,99 @@
+package colstore
+
+// Regression tests for zone-map staleness across partition transfers: the
+// incremental maps are widen-only, so a block whose extremes were
+// tombstoned keeps advertising them. A transfer used to hand such blocks
+// over verbatim — the receiving holder then evaluated scans a tight map
+// would have pruned (or answered from aggregates) forever, since linked
+// blocks never rebuild their summaries.
+
+import "testing"
+
+// TestDetachTailRecomputesZoneMapOverTombstones tombstones one block's low
+// extreme, detaches it whole and links it into a second column: the
+// migrated block must prune a scan over the deleted value span and answer
+// a scan of the surviving span straight from its aggregates.
+func TestDetachTailRecomputesZoneMapOverTombstones(t *testing.T) {
+	f := newFixture(t)
+	src := f.local(0, 64)
+	src.Append(0, seq(128)) // two full blocks: values [0,63] and [64,127]
+	for pos := int64(64); pos < 100; pos++ {
+		if !src.Delete(0, pos) {
+			t.Fatalf("delete %d failed", pos)
+		}
+	}
+
+	d := src.DetachTail(0, 64) // the whole second block, 36 tombstones included
+	if d.Count() != 64 {
+		t.Fatalf("detached %d positions, want 64", d.Count())
+	}
+	dst := f.local(0, 64)
+	if err := dst.LinkDetached(0, 0, d); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Count(); got != 28 {
+		t.Fatalf("live count after link = %d, want 28", got)
+	}
+
+	// The deleted span [64,99] no longer intersects the block's live
+	// values: a tight zone map prunes it without evaluation.
+	res := dst.ScanFiltered(0, dst.Snapshot(), Predicate{Op: Between, Operand: 64, High: 99})
+	if res.Matched != 0 || res.Sum != 0 {
+		t.Fatalf("deleted span matched %d (sum %d)", res.Matched, res.Sum)
+	}
+	if res.BlocksScanned != 0 || res.BlocksPruned != 1 {
+		t.Fatalf("stale zone map evaluated the migrated block: %+v", res)
+	}
+
+	// The surviving span [100,127] exactly covers the tight map: the block
+	// is answered from its aggregates, no evaluation either.
+	var wantSum uint64
+	for v := uint64(100); v <= 127; v++ {
+		wantSum += v
+	}
+	res = dst.ScanFiltered(0, dst.Snapshot(), Predicate{Op: Between, Operand: 100, High: 127})
+	if res.Matched != 28 || res.Sum != wantSum {
+		t.Fatalf("surviving span = (%d, %d), want (28, %d)", res.Matched, res.Sum, wantSum)
+	}
+	if res.BlocksFullHit != 1 || res.BlocksScanned != 0 {
+		t.Fatalf("migrated block not full-hit eligible: %+v", res)
+	}
+}
+
+// TestDetachTailSplitKeepsExactness is the split-path control: detaching
+// across a block boundary with tombstones in both halves must keep counts
+// and scan answers exact (the split path always rebuilt tight summaries).
+func TestDetachTailSplitKeepsExactness(t *testing.T) {
+	f := newFixture(t)
+	src := f.local(0, 64)
+	src.Append(0, seq(160)) // blocks [0,63], [64,127], [128,159]
+	for pos := int64(60); pos < 70; pos++ {
+		if !src.Delete(0, pos) {
+			t.Fatalf("delete %d failed", pos)
+		}
+	}
+	d := src.DetachTail(0, 100) // positions [60,159]: split block 0 at 60
+	dst := f.local(0, 64)
+	if err := dst.LinkDetached(0, 0, d); err != nil {
+		t.Fatal(err)
+	}
+	if g, w := src.Count()+dst.Count(), int64(150); g != w {
+		t.Fatalf("live count after split detach = %d, want %d", g, w)
+	}
+	for _, p := range []Predicate{
+		{Op: All},
+		{Op: Between, Operand: 60, High: 69}, // the tombstoned span
+		{Op: Greater, Operand: 150},
+	} {
+		sres := src.ScanFiltered(0, src.Snapshot(), p)
+		dres := dst.ScanFiltered(0, dst.Snapshot(), p)
+		wantM, wantS := refScan(src, src.Snapshot(), p)
+		dm, ds := refScan(dst, dst.Snapshot(), p)
+		wantM += dm
+		wantS += ds
+		if sres.Matched+dres.Matched != wantM || sres.Sum+dres.Sum != wantS {
+			t.Fatalf("split detach inexact for %+v: (%d,%d), want (%d,%d)",
+				p, sres.Matched+dres.Matched, sres.Sum+dres.Sum, wantM, wantS)
+		}
+	}
+}

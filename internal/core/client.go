@@ -247,6 +247,12 @@ func (e *Engine) Scan(id routing.ObjectID, pred colstore.Predicate) (ScanAggrega
 	return e.ScanCtx(context.Background(), id, pred)
 }
 
+// colScanRetries bounds how often a column scan re-runs its fan-out when
+// rebalancing overlapped it; bursts of balance cycles are short, so a
+// handful of retries normally finds a quiet window well before the
+// context deadline does.
+const colScanRetries = 32
+
 // ScanCtx is Scan bounded by ctx; see LookupCtx.
 func (e *Engine) ScanCtx(ctx context.Context, id routing.ObjectID, pred colstore.Predicate) (ScanAggregate, error) {
 	var agg ScanAggregate
@@ -260,6 +266,39 @@ func (e *Engine) ScanCtx(ctx context.Context, id routing.ObjectID, pred colstore
 	if meta.kind == routing.RangePartitioned {
 		return e.ScanRangeCtx(ctx, id, 0, meta.domain-1, pred)
 	}
+	// The fan-out samples each AEU's partition at a different moment, so a
+	// tail detached from one AEU after its reply and linked at another
+	// before that one's reply is counted twice — or, parked in a mailbox,
+	// not at all. Bracket the fan-out with transfer-state stamps and retry
+	// until a scan saw a quiet window.
+	for attempt := 0; ; attempt++ {
+		gen1, inf1 := e.colXferStamp(id)
+		once, err := e.scanColumnOnce(ctx, id, pred)
+		if err != nil {
+			return agg, err
+		}
+		gen2, inf2 := e.colXferStamp(id)
+		if (gen1 == gen2 && inf1 == 0 && inf2 == 0) || attempt >= colScanRetries || ctx.Err() != nil {
+			return once, nil
+		}
+	}
+}
+
+// colXferStamp sums the column-transfer generation and in-flight payload
+// count of id across all AEUs.
+func (e *Engine) colXferStamp(id routing.ObjectID) (gen, inflight int64) {
+	for _, a := range e.aeus {
+		g, f := a.ColXferState(id)
+		gen += g
+		inflight += f
+	}
+	return gen, inflight
+}
+
+// scanColumnOnce runs one column-scan fan-out over the current holders and
+// aggregates the replies.
+func (e *Engine) scanColumnOnce(ctx context.Context, id routing.ObjectID, pred colstore.Predicate) (ScanAggregate, error) {
+	var agg ScanAggregate
 	targets := e.router.Holders(id, nil)
 	if len(targets) == 0 {
 		return agg, nil

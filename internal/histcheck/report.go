@@ -1,0 +1,75 @@
+package histcheck
+
+// Violation persistence and replay: a failed check dumps its minimized
+// failing fragments as JSON under results/, and ReplayFile re-runs the
+// checker on such a dump — so a violation caught in CI can be replayed
+// and bisected locally without re-provoking the race.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"eris/internal/prefixtree"
+)
+
+// Dump is the serialized form of a failed check.
+type Dump struct {
+	// Name labels the run that produced the dump (test or tool name).
+	Name string
+	// Initial is the base state the histories were checked against, so a
+	// replay needs nothing but the file.
+	Initial []prefixtree.KV
+	// DefaultUnknown mirrors Options.DefaultUnknown at check time.
+	DefaultUnknown bool
+	Violations     []Violation
+}
+
+// WriteViolations serializes res's violations under dir (created if
+// missing) and returns the file path.
+func WriteViolations(dir, name string, res Result, opts Options) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	d := Dump{
+		Name:           name,
+		Initial:        opts.Initial,
+		DefaultUnknown: opts.DefaultUnknown,
+		Violations:     res.Violations,
+	}
+	blob, err := json.MarshalIndent(&d, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+"-violations.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReplayFile re-checks every violation fragment in a dump: the returned
+// result lists the fragments that still fail. A fragment that no longer
+// fails means the dump and the checker disagree — worth investigating
+// either way.
+func ReplayFile(path string) (Result, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return Result{}, err
+	}
+	var d Dump
+	if err := json.Unmarshal(blob, &d); err != nil {
+		return Result{}, fmt.Errorf("histcheck: parse %s: %w", path, err)
+	}
+	opts := Options{Initial: d.Initial, DefaultUnknown: d.DefaultUnknown}
+	var merged Result
+	for _, v := range d.Violations {
+		res := CheckEvents(v.Events, opts)
+		merged.Ops += res.Ops
+		merged.Scans += res.Scans
+		merged.ColScans += res.ColScans
+		merged.Violations = append(merged.Violations, res.Violations...)
+	}
+	return merged, nil
+}

@@ -139,10 +139,16 @@ func (t *Tree) extractNode(core topology.CoreID, ref uint32, level int, prefix, 
 }
 
 // Link grafts a detached subtree into the tree. Both must share the same
-// Store (i.e. live on the same NUMA node), and the subtree's key range must
-// be disjoint from the tree's contents. Only boundary nodes are merged; all
-// interior structure moves by reference — this is the cheap intra-node
+// Store (i.e. live on the same NUMA node). Only boundary nodes are merged;
+// all interior structure moves by reference — this is the cheap intra-node
 // transfer of Figure 7.
+//
+// The subtree's key range is normally disjoint from the tree's contents,
+// but fault recovery can violate that: a re-fetched range may collide with
+// keys the target accepted after adopting ownership. Keys already present
+// keep their local (newer) value, and the counters reflect only the keys
+// actually added — a blind count add here corrupts the count/bitmap
+// coherence every invariant check relies on.
 func (t *Tree) Link(core topology.CoreID, ex *Extracted) {
 	if ex.store != t.src.Store() {
 		panic("prefixtree: Link across stores; use Flatten + BulkUpsert for cross-node transfers")
@@ -151,21 +157,22 @@ func (t *Tree) Link(core topology.CoreID, ex *Extracted) {
 		return
 	}
 	old := t.root.Load()
-	merged := t.mergeNode(core, old, ex.root, 0)
+	merged, added := t.mergeNode(core, old, ex.root, 0)
 	t.root.Store(merged)
-	t.count.Add(ex.count)
+	t.count.Add(added)
 	ex.root, ex.count = nilRef, 0
 }
 
-// mergeNode merges b into a (both at the same level) and returns the result.
-func (t *Tree) mergeNode(core topology.CoreID, a, b uint32, level int) uint32 {
+// mergeNode merges b into a (both at the same level), returning the result
+// and the number of keys that were not already present in a.
+func (t *Tree) mergeNode(core topology.CoreID, a, b uint32, level int) (uint32, int64) {
+	s := t.src.Store()
 	if a == nilRef {
-		return b
+		return b, s.nodeCount(b, level)
 	}
 	if b == nilRef {
-		return a
+		return a, 0
 	}
-	s := t.src.Store()
 	m := s.machine
 	if level == s.levels-1 {
 		asl, aoff := s.leafAt(a)
@@ -179,20 +186,24 @@ func (t *Tree) mergeNode(core topology.CoreID, a, b uint32, level int) uint32 {
 			if bm == 0 {
 				continue
 			}
-			for bmi := bm; bmi != 0; bmi &= bmi - 1 {
+			// Only bits absent from a move over; for keys present on both
+			// sides a's value is newer (it was written under the current
+			// ownership of the range) and wins.
+			fresh := bm &^ asl.bitmap[aoff*s.bitmapWords+w].Load()
+			for bmi := fresh; bmi != 0; bmi &= bmi - 1 {
 				j := w*64 + bits.TrailingZeros64(bmi)
 				asl.values[aoff*s.fanout+j].Store(bsl.values[boff*s.fanout+j].Load())
 			}
-			asl.bitmap[aoff*s.bitmapWords+w].Or(bm)
-			moved += int64(popcount64(bm))
+			asl.bitmap[aoff*s.bitmapWords+w].Or(fresh)
+			moved += int64(popcount64(fresh))
 		}
 		s.leafCount(a).Add(moved)
 		t.src.freeLeafNode(b)
-		return a
+		return a, moved
 	}
 	home, addr := s.innerAddr(a, 0)
 	m.Read(core, home, addr, int64(s.fanout)*4, scanOverlap)
-	s.innerCount(a).Add(s.innerCount(b).Load())
+	var added int64
 	for j := 0; j < s.fanout; j++ {
 		bChild := s.innerSlot(b, j).Load()
 		if bChild == nilRef {
@@ -200,10 +211,13 @@ func (t *Tree) mergeNode(core topology.CoreID, a, b uint32, level int) uint32 {
 		}
 		slot := s.innerSlot(a, j)
 		aChild := slot.Load()
-		slot.Store(t.mergeNode(core, aChild, bChild, level+1))
+		merged, n := t.mergeNode(core, aChild, bChild, level+1)
+		slot.Store(merged)
+		added += n
 	}
+	s.innerCount(a).Add(added)
 	t.src.freeInnerNode(b)
-	return a
+	return a, added
 }
 
 // Flatten serializes the detached subtree into the sorted KV exchange

@@ -59,6 +59,9 @@ func (a *admitter) admit(now time.Time, deadline time.Time, aborted <-chan struc
 	select {
 	case <-a.slots:
 		// Fast path: capacity is free, no shedding decision to make.
+		if a.expireHolding(deadline) {
+			return wire.ErrDeadlineExceeded
+		}
 		a.admitted.Inc()
 		return nil
 	default:
@@ -86,6 +89,14 @@ func (a *admitter) admit(now time.Time, deadline time.Time, aborted <-chan struc
 	}
 	select {
 	case <-a.slots:
+		// The slot and the expiry can race: a waiter whose deadline passed
+		// while queued may still win the slot (the select picks arbitrarily
+		// among ready cases). Re-check before executing — a request that
+		// waited past its deadline only wastes engine work on an answer
+		// nobody reads.
+		if a.expireHolding(deadline) {
+			return wire.ErrDeadlineExceeded
+		}
 		a.admitted.Inc()
 		return nil
 	case <-expire:
@@ -97,6 +108,18 @@ func (a *admitter) admit(now time.Time, deadline time.Time, aborted <-chan struc
 		a.shed.Inc()
 		return wire.ErrOverloaded
 	}
+}
+
+// expireHolding re-checks the deadline while a slot is held: true means the
+// deadline passed, the slot was returned and the caller must reject the
+// request with wire.ErrDeadlineExceeded instead of executing it.
+func (a *admitter) expireHolding(deadline time.Time) bool {
+	if deadline.IsZero() || time.Now().Before(deadline) {
+		return false
+	}
+	a.slots <- struct{}{}
+	a.expired.Inc()
+	return true
 }
 
 // release returns the slot and feeds the request's execution time into the
