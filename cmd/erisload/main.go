@@ -13,6 +13,15 @@
 //	         [-mix lookup|upsert|scan] [-balancer oneshot|maN] [-hot 0.25]
 //	erisload -remote 127.0.0.1:7807 [-conns 4] [-workers 16] [-dur 1]
 //	         [-mix lookup|upsert|scan] [-hot 0.25] [-overload] [-timeout 5ms]
+//	erisload -remote 127.0.0.1:7807 -ackfile acks.txt [-dur 2]
+//	erisload -remote 127.0.0.1:7807 -ackfile acks.txt -verify
+//
+// The -ackfile pair is the kill -9 durability scenario: the first form
+// runs a striped upsert workload against a -datadir erisserve and records
+// every acknowledged write (a dropped connection — the server being
+// killed — ends the run gracefully); after restarting the server on the
+// same data directory, the -verify form checks every recorded write
+// survived recovery.
 //
 // The -overload scenario stamps every request with a short deadline and
 // disables retries so admission-control rejections surface; the report
@@ -21,6 +30,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -29,6 +39,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,7 +74,24 @@ func main() {
 	checkRing := flag.Int("checkring", 1<<16, "with -check: per-worker event ring capacity (overflow drops coverage, never soundness)")
 	scanScen := flag.Bool("scan", false, "analytical scan scenario: selectivity sweep (0.1%/1%/10%/100%) reporting scan goodput and zone-map block pruning")
 	serverMetrics := flag.String("servermetrics", "", "with -remote -scan: the server's -metricsaddr endpoint (host:port) to read colscan.* block counters from")
+	ackFile := flag.String("ackfile", "", "with -remote: run a striped upsert workload recording every acknowledged write to this file; a dropped connection (server killed) ends the worker without failing the run")
+	verify := flag.Bool("verify", false, "with -remote -ackfile: look up every recorded acked write and exit non-zero if any is missing or older than its acked value")
 	flag.Parse()
+
+	if *verify {
+		if *remote == "" || *ackFile == "" {
+			log.Fatal("-verify requires -remote and -ackfile")
+		}
+		runVerify(*remote, *conns, *ackFile)
+		return
+	}
+	if *ackFile != "" {
+		if *remote == "" {
+			log.Fatal("-ackfile requires -remote")
+		}
+		runAcked(*remote, *conns, *workers, *dur, *ackFile)
+		return
+	}
 
 	if *scanScen {
 		if *remote != "" {
@@ -325,6 +353,178 @@ func printSweepPoint(frac float64, scans int, elapsed float64, matched uint64, d
 	fmt.Printf("%-8s %10.0f %14d %16.0f %9d %9d %9d %10s\n",
 		fmt.Sprintf("%g%%", frac*100), float64(scans)/elapsed, matched,
 		float64(scans)*float64(matched)/elapsed, scanned, pruned, fullHit, untouched)
+}
+
+// runAcked drives the durability workload for the kill -9 scenario: each
+// worker upserts only its own key stripe (key ≡ worker mod workers) with
+// per-worker strictly increasing values, so the latest acknowledged value
+// of every key is well defined without cross-worker coordination. Acked
+// writes are recorded and written to ackFile at the end; a connection
+// error — the server being killed is the point of the scenario — stops
+// that worker but keeps everything it had acked. A later -verify run
+// replays the file against the restarted server.
+func runAcked(addr string, conns, workers int, durSec float64, ackFile string) {
+	if workers <= 0 {
+		workers = 2 * conns
+	}
+	pool, err := client.NewPool(addr, conns, client.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+	var obj wire.ObjectInfo
+	found := false
+	for _, o := range pool.Get().Objects() {
+		if o.Kind == wire.KindIndex {
+			obj, found = o, true
+			break
+		}
+	}
+	if !found {
+		log.Fatalf("server at %s exports no index object", addr)
+	}
+	if obj.Domain < uint64(2*workers) {
+		log.Fatalf("domain %d too small for %d striped workers", obj.Domain, workers)
+	}
+
+	const batch = 16
+	acked := make([]map[uint64]uint64, workers)
+	var dropped atomic.Uint64
+	deadline := time.Now().Add(time.Duration(durSec * float64(time.Second)))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		acked[w] = make(map[uint64]uint64)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			c := pool.Get()
+			kvs := make([]prefixtree.KV, batch)
+			seq := uint64(0)
+			for time.Now().Before(deadline) {
+				for i := range kvs {
+					k := rng.Uint64() % obj.Domain
+					k -= k % uint64(workers)
+					k += uint64(w)
+					if k >= obj.Domain {
+						k -= uint64(workers)
+					}
+					seq++
+					kvs[i] = prefixtree.KV{Key: k, Value: seq}
+				}
+				if err := c.Upsert(obj.ID, kvs); err != nil {
+					// No ack: the write may or may not have landed, either is
+					// fine after recovery. Keep what WAS acked and stop.
+					dropped.Add(1)
+					return
+				}
+				for _, kv := range kvs {
+					if kv.Value > acked[w][kv.Key] {
+						acked[w][kv.Key] = kv.Value
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	f, err := os.Create(ackFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	total := 0
+	for _, m := range acked {
+		for k, v := range m {
+			fmt.Fprintf(bw, "%d %d\n", k, v)
+			total++
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("acked workload on %q: %d keys recorded to %s (%d workers, %d connections dropped)\n",
+		obj.Name, total, ackFile, workers, dropped.Load())
+}
+
+// runVerify checks an ackfile against a (typically restarted) server:
+// every recorded key must be present with a value at least as new as the
+// one acked — a later unacked write by the same worker may legitimately
+// have survived, an older or missing value means a lost acknowledged
+// write. Exits non-zero on the first summary of losses.
+func runVerify(addr string, conns int, ackFile string) {
+	want := make(map[uint64]uint64)
+	f, err := os.Open(ackFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var k, v uint64
+		if _, err := fmt.Sscanf(sc.Text(), "%d %d", &k, &v); err != nil {
+			log.Fatalf("bad ackfile line %q: %v", sc.Text(), err)
+		}
+		if v > want[k] {
+			want[k] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	pool, err := client.NewPool(addr, conns, client.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+	var obj wire.ObjectInfo
+	found := false
+	for _, o := range pool.Get().Objects() {
+		if o.Kind == wire.KindIndex {
+			obj, found = o, true
+			break
+		}
+	}
+	if !found {
+		log.Fatalf("server at %s exports no index object", addr)
+	}
+
+	keys := make([]uint64, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	missing, stale := 0, 0
+	for off := 0; off < len(keys); off += 64 {
+		end := off + 64
+		if end > len(keys) {
+			end = len(keys)
+		}
+		kvs, err := pool.Get().Lookup(obj.ID, keys[off:end])
+		if err != nil {
+			log.Fatalf("verify lookup: %v", err)
+		}
+		got := make(map[uint64]uint64, len(kvs))
+		for _, kv := range kvs {
+			got[kv.Key] = kv.Value
+		}
+		for _, k := range keys[off:end] {
+			v, ok := got[k]
+			switch {
+			case !ok:
+				missing++
+			case v < want[k]:
+				stale++
+			}
+		}
+	}
+	if missing > 0 || stale > 0 {
+		log.Fatalf("verify %q: LOST ACKED WRITES — %d of %d keys missing, %d older than acked", obj.Name, missing, len(want), stale)
+	}
+	fmt.Printf("verify %q: all %d acked writes survived\n", obj.Name, len(want))
 }
 
 // runRemote drives the workload over eriswire against a running erisserve.

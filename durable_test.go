@@ -1,0 +1,382 @@
+package eris
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"eris/internal/client"
+)
+
+// TestDurableLifecycle is the public-API durability round trip: create,
+// load, write, close cleanly, reopen — everything must come back, object
+// handles reachable by name.
+func TestDurableLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Machine: "single", Workers: 4, DataDir: dir, SyncWrites: true}
+
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Recovered() {
+		t.Fatal("fresh directory reported as recovered")
+	}
+	idx, err := db.CreateIndex("orders", 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := db.CreateColumn("prices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.LoadDense(500, func(k uint64) uint64 { return k * 10 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.LoadUniform(100, func(w int, i int64) uint64 { return uint64(i) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Upsert([]KV{{Key: 60000, Value: 42}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Delete([]uint64{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !db2.Recovered() {
+		t.Fatal("reopen did not recover")
+	}
+	idx2, err := db2.Index("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2.Domain() != 1<<16 {
+		t.Fatalf("recovered domain %d", idx2.Domain())
+	}
+	col2, err := db2.Column("prices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Index("prices"); err == nil {
+		t.Fatal("column reachable as index")
+	}
+	if err := db2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := idx2.Lookup([]uint64{3, 7, 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 2 || kvs[0] != (KV{Key: 3, Value: 30}) || kvs[1] != (KV{Key: 60000, Value: 42}) {
+		t.Fatalf("recovered lookup = %+v", kvs)
+	}
+	res, err := col2.Scan(PredAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != 4*100 {
+		t.Fatalf("recovered column scan matched %d, want %d", res.Matched, 4*100)
+	}
+}
+
+// TestDurableCrashOverWire drives writes over the eriswire TCP protocol,
+// hard-kills the engine (CrashStop: no drain, no final checkpoint), and
+// verifies every write acknowledged over the wire survives reopening.
+// Both instances must also return the process to its goroutine baseline —
+// a crash must not leak AEU loops, log writers, checkpoint tickers or
+// server connections.
+func TestDurableCrashOverWire(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	dir := t.TempDir()
+	opts := Options{
+		Machine: "single", Workers: 4,
+		DataDir: dir, SyncWrites: true,
+		CheckpointEvery: 20 * time.Millisecond,
+		ListenAddr:      "127.0.0.1:0",
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("kv", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := client.Dial(db.ServeAddr(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := uint32(0)
+	for _, o := range c.Objects() {
+		if o.Name == "kv" {
+			obj = o.ID
+		}
+	}
+	if obj == 0 {
+		t.Fatalf("object table %+v", c.Objects())
+	}
+	acked := make(map[uint64]uint64)
+	for i := uint64(0); i < 150; i++ {
+		kv := KV{Key: i * 13 % (1 << 20), Value: i + 1}
+		if err := c.Upsert(obj, []KV{kv}); err != nil {
+			break // engine may already be going down in a later variant
+		}
+		acked[kv.Key] = kv.Value
+	}
+	db.CrashStop()
+	c.Close()
+	if len(acked) == 0 {
+		t.Fatal("no writes acked before crash")
+	}
+
+	db2, err := Open(Options{Machine: "single", Workers: 4, DataDir: dir, SyncWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db2.Recovered() {
+		t.Fatal("crash directory did not recover")
+	}
+	idx2, err := db2.Index("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range acked {
+		kvs, err := idx2.Lookup([]uint64{k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(kvs) != 1 || kvs[0].Value != v {
+			t.Fatalf("acked write lost after crash: key %d got %+v want value %d", k, kvs, v)
+		}
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(leakDeadline) {
+			t.Fatalf("goroutines leaked across the crash/recover cycle: %d at baseline, %d now",
+				baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRecoveryTimeBudget is the CI recovery smoke: load a million keys,
+// checkpoint, add a log tail, then measure cold Open-to-serving. The
+// budget is deliberately generous (CI machines vary wildly); the recovery
+// bench in results/ tracks the real numbers.
+func TestRecoveryTimeBudget(t *testing.T) {
+	const keys = 1 << 20
+	dir, err := os.MkdirTemp("/dev/shm", "eris-recovery-")
+	if err != nil {
+		dir = t.TempDir()
+	} else {
+		defer os.RemoveAll(dir)
+	}
+	opts := Options{Machine: "single", Workers: 4, DataDir: dir, SyncWrites: true}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.CreateIndex("big", 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.LoadDense(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// A log tail on top of the initial checkpoint; the hard stop below
+	// (no final checkpoint) forces recovery to replay it.
+	batch := make([]KV, 64)
+	for i := 0; i < 256; i++ {
+		for j := range batch {
+			batch[j] = KV{Key: uint64(i*64 + j), Value: 7}
+		}
+		if err := idx.Upsert(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.CrashStop()
+
+	start := time.Now()
+	db2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	idx2, err := db2.Index("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := idx2.Lookup([]uint64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if len(kvs) != 1 || kvs[0].Value != 7 {
+		t.Fatalf("post-recovery lookup = %+v", kvs)
+	}
+	st := db2.Durable().Stats()
+	t.Logf("time-to-serve %d keys: %v (replayed %d records, %d bytes)",
+		keys, elapsed, st.ReplayRecords, st.ReplayBytes)
+	const budget = 60 * time.Second
+	if elapsed > budget {
+		t.Errorf("recovery took %v, budget %v", elapsed, budget)
+	}
+}
+
+// BenchmarkRecoveryTimeToServe measures the full cold-start path — open
+// the data directory, recover (checkpoint image + log replay on the first
+// iteration, image-only after the first Start re-checkpoints), rebuild the
+// engine and serve a first lookup — over a million-key index. Paired with
+// BenchmarkWALReplay (internal/durable) this is the recovery performance
+// record in results/recovery_bench.txt.
+func BenchmarkRecoveryTimeToServe(b *testing.B) {
+	const keys = 1 << 20
+	dir, err := os.MkdirTemp("/dev/shm", "eris-recbench-")
+	if err != nil {
+		dir = b.TempDir()
+	} else {
+		defer os.RemoveAll(dir)
+	}
+	opts := Options{Machine: "single", Workers: 4, DataDir: dir, SyncWrites: true}
+	db, err := Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := db.CreateIndex("big", 1<<21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := idx.LoadDense(keys, nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Start(); err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]KV, 64)
+	for i := 0; i < 256; i++ {
+		for j := range batch {
+			batch[j] = KV{Key: uint64(i*64 + j), Value: 7}
+		}
+		if err := idx.Upsert(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db.CrashStop()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, err := Open(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !db.Recovered() {
+			b.Fatal("directory did not recover")
+		}
+		idx, err := db.Index("big")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Start(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := idx.Lookup([]uint64{100}); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		db.CrashStop()
+		b.StartTimer()
+	}
+}
+
+// TestDurableFaultKindsListed keeps the public fault-kind doc honest.
+func TestDurableFaultKindsListed(t *testing.T) {
+	want := map[string]bool{"torn_write": true, "fail_fsync": true, "crash": true}
+	for _, k := range FaultKinds() {
+		delete(want, k)
+	}
+	if len(want) != 0 {
+		t.Fatalf("FaultKinds missing %v", want)
+	}
+}
+
+// TestDurableThroughputParity guards the satellite acceptance criterion:
+// with SyncWrites off, logging must cost no more than ~10% of in-memory
+// write throughput. The data dir goes on tmpfs when available so the
+// comparison measures the engine's logging overhead, not the CI disk's
+// fsync latency (on a 1-core runner with ext4 barriers, raw fsync time
+// dominates and says nothing about the data path — the 0-allocs guard
+// and this test together pin the engine-side cost). Generous slack (1.5x
+// vs the ~1.1x target) keeps scheduler noise out.
+func TestDurableThroughputParity(t *testing.T) {
+	const n = 20000
+	run := func(dataDir string) time.Duration {
+		opts := Options{Machine: "single", Workers: 4}
+		if dataDir != "" {
+			opts.DataDir = dataDir
+		}
+		db, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		idx, err := db.CreateIndex("bench", 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Start(); err != nil {
+			t.Fatal(err)
+		}
+		kvs := make([]KV, 16)
+		start := time.Now()
+		for i := 0; i < n/len(kvs); i++ {
+			for j := range kvs {
+				kvs[j] = KV{Key: uint64(i*16+j) % (1 << 20), Value: uint64(i)}
+			}
+			if err := idx.Upsert(kvs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	dir, err := os.MkdirTemp("/dev/shm", "eris-parity-")
+	if err != nil {
+		dir = t.TempDir()
+		t.Logf("no tmpfs, measuring on disk (fsync latency will dominate)")
+	} else {
+		defer os.RemoveAll(dir)
+	}
+	base := run("")
+	logged := run(dir)
+	ratio := float64(logged) / float64(base)
+	t.Logf("in-memory %v, logged %v (%.2fx)", base, logged, ratio)
+	if logged > base*3/2 {
+		t.Errorf("logged writes %.2fx slower than in-memory (budget 1.5x; target 1.1x)", ratio)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"eris/internal/balance"
 	"eris/internal/colstore"
 	"eris/internal/core"
+	"eris/internal/durable"
 	"eris/internal/faults"
 	"eris/internal/metrics"
 	"eris/internal/numasim"
@@ -110,15 +111,32 @@ type Options struct {
 	// fault-injection registry with this seed; arm faults with
 	// DB.InjectFault. Zero (the default) disables injection entirely.
 	FaultSeed int64
+	// DataDir, when non-empty, makes the engine durable: every applied
+	// write is logged to a per-AEU write-ahead log under this directory,
+	// checkpoints snapshot the partitions, and Open recovers the durable
+	// state of a previous run (latest checkpoint + log-tail replay,
+	// verified with CheckInvariants) before serving. Empty keeps the
+	// engine purely in-memory (the paper's configuration).
+	DataDir string
+	// SyncWrites, with DataDir set, releases write acks only after the
+	// fsync covering their log records (group commit batches the waits).
+	// Off, writes are still logged but an ack may precede its fsync: a
+	// crash can lose the last commit group.
+	SyncWrites bool
+	// CheckpointEvery, with DataDir set, runs periodic background
+	// checkpoints (log tails stay short, old logs are pruned). Zero
+	// checkpoints only at Start and Close.
+	CheckpointEvery time.Duration
 }
 
 // DB is an open engine instance.
 type DB struct {
-	engine  *core.Engine
-	alg     balance.Algorithm
-	nextID  routing.ObjectID
-	byName  map[string]routing.ObjectID
-	started bool
+	engine    *core.Engine
+	alg       balance.Algorithm
+	nextID    routing.ObjectID
+	byName    map[string]routing.ObjectID
+	started   bool
+	recovered *durable.Recovered
 
 	listenAddr      string
 	maxInFlight     int
@@ -148,23 +166,144 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := core.New(core.Config{
-		Topology:    topo,
-		NumAEUs:     opts.Workers,
-		Machine:     machineCfg,
-		Tree:        prefixtree.Config{KeyBits: opts.KeyBits, PrefixBits: 8},
-		Balance:     balance.Config{SampleIntervalSec: opts.BalancerIntervalSec},
-		MetricsAddr: opts.MetricsAddr,
-		FaultSeed:   opts.FaultSeed,
-	})
+	// The fault injector is built here (not inside core.New) when a data
+	// directory is in play, so the durability layer shares the engine's
+	// deterministic decision stream.
+	var inj *faults.Injector
+	if opts.FaultSeed != 0 {
+		inj = faults.New(opts.FaultSeed)
+	}
+	var mgr *durable.Manager
+	var rec *durable.Recovered
+	if opts.DataDir != "" {
+		mgr, err = durable.Open(durable.Options{
+			Dir:        opts.DataDir,
+			SyncWrites: opts.SyncWrites,
+			Faults:     inj,
+			TearSeed:   opts.FaultSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rec, err = mgr.Recover(); err != nil {
+			return nil, fmt.Errorf("eris: recovering %s: %w", opts.DataDir, err)
+		}
+	}
+	cfg := core.Config{
+		Topology:        topo,
+		NumAEUs:         opts.Workers,
+		Machine:         machineCfg,
+		Tree:            prefixtree.Config{KeyBits: opts.KeyBits, PrefixBits: 8},
+		Balance:         balance.Config{SampleIntervalSec: opts.BalancerIntervalSec},
+		MetricsAddr:     opts.MetricsAddr,
+		FaultSeed:       opts.FaultSeed,
+		Durable:         mgr,
+		CheckpointEvery: opts.CheckpointEvery,
+	}
+	cfg.Routing.Faults = inj
+	e, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{
+	db := &DB{
 		engine: e, alg: alg, byName: make(map[string]routing.ObjectID),
 		listenAddr: opts.ListenAddr, maxInFlight: opts.MaxInFlight,
 		globalInFlight: opts.GlobalInFlight, defaultDeadline: opts.DefaultDeadline,
-	}, nil
+	}
+	if rec != nil {
+		if err := db.restore(rec); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// restore loads a recovered durable state into the fresh engine and
+// re-registers the recovered objects under their saved names.
+func (db *DB) restore(rec *durable.Recovered) error {
+	if err := db.engine.Restore(rec); err != nil {
+		return fmt.Errorf("eris: restoring recovered state: %w", err)
+	}
+	mgr := db.engine.Durable()
+	for _, o := range rec.Objects {
+		id := routing.ObjectID(o.ID)
+		if id > db.nextID {
+			db.nextID = id
+		}
+		name := o.Name
+		if name == "" {
+			// Objects written by an engine-level (nameless) session stay
+			// reachable by a synthetic name.
+			name = fmt.Sprintf("object-%d", o.ID)
+		}
+		db.byName[name] = id
+		mgr.RegisterObject(o.ID, name)
+		if db.alg != nil {
+			if err := db.engine.Watch(id, db.alg); err != nil {
+				return err
+			}
+		}
+	}
+	if err := db.engine.CheckInvariants(); err != nil {
+		return fmt.Errorf("eris: recovered state failed invariant check: %w", err)
+	}
+	db.recovered = rec
+	return nil
+}
+
+// Recovered reports whether Open loaded durable state from a previous
+// run; recovered objects are reachable via Index and Column by name.
+func (db *DB) Recovered() bool { return db.recovered != nil }
+
+// Index returns a handle to an existing index by name (typically one
+// recovered from the data directory).
+func (db *DB) Index(name string) (*Index, error) {
+	id, ok := db.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("eris: no object %q", name)
+	}
+	if kind, err := db.engine.ObjectKind(id); err != nil || kind != routing.RangePartitioned {
+		return nil, fmt.Errorf("eris: object %q is not an index", name)
+	}
+	domain, err := db.engine.Domain(id)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{db: db, id: id, name: name, domain: domain}, nil
+}
+
+// Column returns a handle to an existing column by name (typically one
+// recovered from the data directory).
+func (db *DB) Column(name string) (*Column, error) {
+	id, ok := db.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("eris: no object %q", name)
+	}
+	if kind, err := db.engine.ObjectKind(id); err != nil || kind != routing.SizePartitioned {
+		return nil, fmt.Errorf("eris: object %q is not a column", name)
+	}
+	return &Column{db: db, id: id, name: name}, nil
+}
+
+// Checkpoint cuts an engine-wide checkpoint on demand (no-op without a
+// data directory); see Options.CheckpointEvery for the periodic variant.
+func (db *DB) Checkpoint() error { return db.engine.Checkpoint() }
+
+// Durable exposes the durability manager (nil without a data directory):
+// log/checkpoint statistics and the crash-fault request flag.
+func (db *DB) Durable() *durable.Manager { return db.engine.Durable() }
+
+// CrashStop hard-stops the engine the way kill -9 would: pending calls
+// fail, unwritten log buffers are dropped (with the torn_write fault
+// armed, each log's unsynced tail is torn mid-record), and no final
+// checkpoint is cut. The data directory is left as a crash would leave
+// it, ready for recovery by the next Open. For tests and fault drills.
+func (db *DB) CrashStop() {
+	db.engine.CrashStop()
+	if db.server != nil {
+		db.server.Close()
+		db.server = nil
+	}
 }
 
 func parseAlgorithm(name string) (balance.Algorithm, error) {
@@ -230,6 +369,9 @@ func (db *DB) CreateIndex(name string, domain uint64) (*Index, error) {
 			return nil, err
 		}
 	}
+	if mgr := db.engine.Durable(); mgr != nil {
+		mgr.RegisterObject(uint32(id), name)
+	}
 	return &Index{db: db, id: id, name: name, domain: domain}, nil
 }
 
@@ -294,6 +436,9 @@ func (db *DB) CreateColumn(name string) (*Column, error) {
 			db.dropObject(name)
 			return nil, err
 		}
+	}
+	if mgr := db.engine.Durable(); mgr != nil {
+		mgr.RegisterObject(uint32(id), name)
 	}
 	return &Column{db: db, id: id, name: name}, nil
 }
@@ -394,9 +539,13 @@ func (db *DB) Workers() []*aeu.AEU { return db.engine.AEUs() }
 
 // FaultKinds lists the injectable fault kinds accepted by InjectFault:
 // the control-plane kinds "drop_ack", "corrupt_frame", "fail_alloc",
-// "delay_epoch_done", "stall_transfer", and the wire-server kinds
+// "delay_epoch_done", "stall_transfer", the wire-server kinds
 // "drop_conn" (close a connection in place of a response) and
-// "slow_write" (delay a response write).
+// "slow_write" (delay a response write), and the durability kinds
+// "torn_write" (tear the unsynced log tail mid-record at crash),
+// "fail_fsync" (fail a log fsync attempt; the group-commit writer
+// retries) and "crash" (request a hard stop at a log append; poll
+// Durable().CrashRequested and call CrashStop to honor it).
 func FaultKinds() []string {
 	kinds := faults.Kinds()
 	out := make([]string, len(kinds))

@@ -19,6 +19,7 @@ import (
 
 	"eris/internal/colstore"
 	"eris/internal/command"
+	"eris/internal/durable"
 	"eris/internal/faults"
 	"eris/internal/mem"
 	"eris/internal/metrics"
@@ -110,6 +111,12 @@ type Partition struct {
 	accesses  atomic.Int64 // keys/commands touched in the current window
 	cmdTimePS atomic.Int64 // processing time in the current window
 	cmdCount  atomic.Int64
+
+	// links records transfers applied into this partition since its last
+	// checkpoint image (range objects, WAL attached only). Persisted with
+	// the image so recovery can tell a checkpointed link from one that
+	// never happened; reset when the image is cut.
+	links []durable.LinkRange
 }
 
 // RecordAccess bumps the partition's access-frequency counter; the AEU's
@@ -148,6 +155,10 @@ type transfer struct {
 	srcCol *Partition // column transfers: source partition, for in-flight accounting
 	lo     uint64
 	hi     uint64
+	// xid is the source's WAL handoff sequence number (0 when the engine
+	// runs without durability); the target logs it in its link record so
+	// recovery can pair the two sides of the transfer.
+	xid uint64
 	// auth marks a transfer whose source's bounds covered the whole fetch
 	// range (at extraction, or — for a fetch of the current balancing epoch
 	// — just before that epoch's own shrink). An authoritative transfer
@@ -265,6 +276,14 @@ type AEU struct {
 	skewed    bool
 
 	onClientResult func(tag uint64, from uint32, kvs []prefixtree.KV, answered int, err error)
+
+	// Durability (nil/false without a data directory). pendingAcks holds
+	// client acks parked until the WAL fsync covering their records;
+	// ckptReq is the engine's in-loop checkpoint-image request slot.
+	wal         *durable.Log
+	walSync     bool
+	pendingAcks []parkedAck
+	ckptReq     atomic.Pointer[CkptRequest]
 
 	stop     atomic.Bool
 	timeline *Timeline

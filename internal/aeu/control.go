@@ -2,6 +2,7 @@ package aeu
 
 import (
 	"eris/internal/command"
+	"eris/internal/durable"
 	"eris/internal/faults"
 	"eris/internal/routing"
 	"eris/internal/topology"
@@ -140,6 +141,13 @@ func (a *AEU) handleFetch(c command.Command) {
 		}
 		ex := p.Tree.ExtractRange(a.Core, f.Lo, f.Hi)
 		dbg("aeu%d obj%d handleFetch req=aeu%d [%d,%d] tag=%d extracted=%d auth=%v bounds [%d,%d]->[%d,%d]", a.ID, c.Object, c.Source, f.Lo, f.Hi, c.Tag, ex.Count(), t.auth, oldLo, oldHi, p.Lo, p.Hi)
+		if a.wal != nil {
+			// Log ownership of [lo, hi] hands off with the data: the
+			// handoff record's sequence number is the transfer id the
+			// target's link record will carry, pairing the two sides of
+			// the transfer for recovery.
+			t.xid = a.wal.AppendHandoff(uint32(obj), f.Lo, f.Hi, requester)
+		}
 		if sameNode {
 			t.ex = ex
 		} else {
@@ -178,8 +186,20 @@ func (a *AEU) receiveTransfers() {
 		}
 		switch {
 		case t.ex != nil:
+			if a.wal != nil {
+				// The link record is self-contained (it carries the moved
+				// tuples): a transfer whose handoff record was lost to a
+				// crash still replays. Flatten is a non-destructive read,
+				// so linking afterwards is sound.
+				a.wal.AppendLink(uint32(t.obj), t.lo, t.hi, t.xid, t.ex.Flatten(a.Core))
+				p.links = append(p.links, durable.LinkRange{Xid: t.xid, Lo: t.lo, Hi: t.hi})
+			}
 			p.Tree.Link(a.Core, t.ex)
 		case t.kvs != nil:
+			if a.wal != nil {
+				a.wal.AppendLink(uint32(t.obj), t.lo, t.hi, t.xid, t.kvs)
+				p.links = append(p.links, durable.LinkRange{Xid: t.xid, Lo: t.lo, Hi: t.hi})
+			}
 			p.Tree.RebuildFrom(a.Core, t.kvs)
 		case t.det != nil:
 			if err := p.Col.LinkDetached(a.Core, a.Node, t.det); err != nil {

@@ -1,0 +1,93 @@
+package aeu
+
+import (
+	"testing"
+	"time"
+
+	"eris/internal/command"
+	"eris/internal/durable"
+	"eris/internal/prefixtree"
+	"eris/internal/topology"
+)
+
+// TestDurableServePathSteadyStateAllocs is the allocation regression
+// guard for the logged write path: after warm-up, serving upsert and
+// delete groups with WAL appends enabled must not allocate. The log's
+// segment free-list and the writer's queue/spare ping-pong keep the
+// group-commit machinery allocation-free at steady state.
+func TestDurableServePathSteadyStateAllocs(t *testing.T) {
+	h := newHarness(t, topology.SingleNode(2), 2, 1<<14)
+	a0 := h.aeus[0]
+	mgr, err := durable.Open(durable.Options{Dir: t.TempDir(), SyncWrites: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	a0.SetWAL(mgr.Log(int(a0.ID)))
+
+	src := h.aeus[1].Outbox()
+	keys := make([]uint64, 64)
+	kvs := make([]prefixtree.KV, 64)
+	for i := range keys {
+		keys[i] = uint64(i*61) % (1 << 13) // all owned by AEU 0
+		kvs[i] = prefixtree.KV{Key: keys[i], Value: uint64(i)}
+	}
+	run := func() {
+		src.RouteUpsert(testObj, kvs, command.NoReply, 0)
+		src.RouteDelete(testObj, keys[:8], command.NoReply, 0)
+		src.Flush()
+		h.router.Drain(a0.ID, a0.classify)
+		a0.processGroups()
+		if a0.wal != nil {
+			a0.releaseDurableAcks()
+		}
+	}
+	for i := 0; i < 300; i++ {
+		run()
+	}
+	if avg := testing.AllocsPerRun(200, run); avg != 0 {
+		t.Errorf("logged serve path allocates %.1f times per cycle, want 0", avg)
+	}
+	if err := mgr.Flush(2 * time.Second); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if st := mgr.Stats(); st.Records == 0 || st.BytesLogged == 0 {
+		t.Fatalf("no records logged: %+v", st)
+	}
+}
+
+// Acks parked on the WAL release only once the covering fsync lands, and
+// a clean loop exit flushes and releases every parked ack.
+func TestSyncWritesGateAcks(t *testing.T) {
+	h := newHarness(t, topology.SingleNode(2), 2, 1<<10)
+	a0 := h.aeus[0]
+	mgr, err := durable.Open(durable.Options{Dir: t.TempDir(), SyncWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	a0.SetWAL(mgr.Log(int(a0.ID)))
+
+	acked := 0
+	a0.SetClientResult(func(tag uint64, from uint32, kvs []prefixtree.KV, answered int, err error) {
+		if err == nil {
+			acked++
+		}
+	})
+	a0.classify(command.Command{
+		Op: command.OpUpsert, Object: uint32(testObj), Source: 0,
+		ReplyTo: ClientReply, Tag: 1,
+		KVs: []prefixtree.KV{{Key: 5, Value: 50}},
+	})
+	a0.processGroups()
+	if acked != 0 {
+		t.Fatalf("ack released before fsync (acked=%d)", acked)
+	}
+	if err := mgr.Flush(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	a0.releaseDurableAcks()
+	if acked != 1 {
+		t.Fatalf("ack not released after fsync (acked=%d)", acked)
+	}
+}

@@ -34,6 +34,18 @@ func (a *AEU) Run() {
 			busy = true
 		}
 
+		// Durability housekeeping: release client acks whose WAL records
+		// are covered by an fsync, and serve a pending checkpoint-image
+		// request at this iteration boundary.
+		if a.wal != nil {
+			if a.releaseDurableAcks() {
+				busy = true
+			}
+			if a.serveCheckpoint() {
+				busy = true
+			}
+		}
+
 		// Stage 1+2: drain the incoming buffer, group commands by data
 		// object and type, then process the groups. Requeued commands
 		// (released deferrals) are checked against their deadline first —
@@ -94,6 +106,13 @@ func (a *AEU) Run() {
 			}
 			runtime.Gosched()
 		}
+	}
+	if a.wal != nil {
+		// A checkpoint request that raced the stop must still be answered
+		// (the engine is waiting on Done), and parked acks drain after a
+		// final flush — see flushDurableAcks.
+		a.serveCheckpoint()
+		a.flushDurableAcks()
 	}
 	a.Outbox().Flush()
 }
@@ -506,7 +525,11 @@ func (a *AEU) processDeletes(k groupKey, g *group, p *Partition) {
 	p.Tree.DeleteBatch(a.Core, valid)
 	p.accesses.Add(int64(len(valid)))
 	a.countOps(int64(len(valid)))
-	if k.replyTo != command.NoReply {
+	var seq uint64
+	if a.wal != nil {
+		seq = a.wal.AppendDelete(uint32(k.obj), valid)
+	}
+	if k.replyTo != command.NoReply && !a.parkAck(k, len(valid), seq) {
 		a.reply(k, nil, len(valid)) // delete ack without payload
 	}
 }
@@ -546,7 +569,11 @@ func (a *AEU) processUpserts(k groupKey, g *group, p *Partition) {
 	p.Tree.UpsertBatch(a.Core, validKVs)
 	p.accesses.Add(int64(len(validKVs)))
 	a.countOps(int64(len(validKVs)))
-	if k.replyTo != command.NoReply {
+	var seq uint64
+	if a.wal != nil {
+		seq = a.wal.AppendUpsert(uint32(k.obj), validKVs)
+	}
+	if k.replyTo != command.NoReply && !a.parkAck(k, len(validKVs), seq) {
 		a.reply(k, nil, len(validKVs)) // upsert ack without payload
 	}
 }

@@ -61,6 +61,11 @@ func TestChaosLinearizability(t *testing.T) {
 			// serving stack.
 			continue
 		}
+		if kind == faults.TornWrite || kind == faults.FailFsync || kind == faults.Crash {
+			// Durability faults; only consulted with a data directory. The
+			// crash-recovery history test covers them.
+			continue
+		}
 		t.Run(kind.String(), func(t *testing.T) {
 			e, err := core.New(core.Config{
 				Topology: topology.SingleNode(4),

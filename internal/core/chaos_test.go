@@ -60,6 +60,11 @@ func TestChaosRangeBalancing(t *testing.T) {
 			// internal/server exercises both.
 			continue
 		}
+		if kind == faults.TornWrite || kind == faults.FailFsync || kind == faults.Crash {
+			// Durability faults; only consulted with a data directory.
+			// The crash-recovery suite exercises them.
+			continue
+		}
 		t.Run(kind.String(), func(t *testing.T) {
 			e := newChaosEngine(t)
 			const domain = 4000

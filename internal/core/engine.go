@@ -10,12 +10,14 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eris/internal/aeu"
 	"eris/internal/balance"
 	"eris/internal/colstore"
 	"eris/internal/csbtree"
+	"eris/internal/durable"
 	"eris/internal/faults"
 	"eris/internal/mem"
 	"eris/internal/metrics"
@@ -56,6 +58,14 @@ type Config struct {
 	// the production configuration pays one pointer comparison per hook.
 	// Alternatively, an injector passed via Routing.Faults is adopted as is.
 	FaultSeed int64
+	// Durable, when non-nil, attaches per-AEU write-ahead logging and
+	// checkpointing (see internal/durable). The caller opens the manager
+	// (and runs recovery) before building the engine.
+	Durable *durable.Manager
+	// CheckpointEvery, with Durable set, runs periodic engine checkpoints
+	// on a background goroutine. Zero disables the ticker; checkpoints
+	// then happen only at Start, Close, and explicit Checkpoint calls.
+	CheckpointEvery time.Duration
 }
 
 // objectMeta is engine-side bookkeeping per data object.
@@ -85,7 +95,15 @@ type Engine struct {
 	started bool
 	stopMu  sync.Mutex
 	stopped bool
+	crashed bool
 	wg      sync.WaitGroup
+
+	// Durability state: loopsUp tells Checkpoint whether images must be
+	// cut in-loop (via CkptRequest) or directly (quiescent engine);
+	// ckptMu serializes checkpoints; ckptStop ends the periodic ticker.
+	loopsUp  atomic.Bool
+	ckptMu   sync.Mutex
+	ckptStop chan struct{}
 
 	clientMu     sync.Mutex
 	nextTag      uint64
@@ -140,9 +158,15 @@ func New(cfg Config) (*Engine, error) {
 		objects: make(map[routing.ObjectID]*objectMeta),
 		pending: make(map[uint64]*pendingOp),
 	}
+	if cfg.Durable != nil {
+		cfg.Durable.AttachMetrics(reg)
+	}
 	for i := 0; i < n; i++ {
 		a := aeu.New(router, mems, uint32(i), cfg.AEU)
 		a.SetClientResult(e.deliverClientResult)
+		if cfg.Durable != nil {
+			a.SetWAL(cfg.Durable.Log(i))
+		}
 		e.aeus = append(e.aeus, a)
 	}
 	aeu.RegisterPeers(e.aeus)
@@ -328,6 +352,16 @@ func (e *Engine) Start() error {
 		e.metricsRv = srv
 	}
 	e.started = true
+	if e.cfg.Durable != nil {
+		// Initial synchronous checkpoint, cut while the engine is still
+		// quiescent: it covers everything loaded before Start (bulk loads
+		// and recovered state are applied directly, not through the WAL),
+		// so log replay alone never has to reconstruct them.
+		if err := e.Checkpoint(); err != nil {
+			e.started = false
+			return fmt.Errorf("core: initial checkpoint: %w", err)
+		}
+	}
 	for _, a := range e.aeus {
 		e.wg.Add(1)
 		go func(a *aeu.AEU) {
@@ -335,8 +369,14 @@ func (e *Engine) Start() error {
 			a.Run()
 		}(a)
 	}
+	e.loopsUp.Store(true)
 	if e.watched {
 		go e.balancer.Run()
+	}
+	if e.cfg.Durable != nil && e.cfg.CheckpointEvery > 0 {
+		e.ckptStop = make(chan struct{})
+		e.wg.Add(1)
+		go e.checkpointLoop(e.ckptStop)
 	}
 	return nil
 }
@@ -373,6 +413,9 @@ func (e *Engine) Stop() {
 		return
 	}
 	e.stopped = true
+	// End periodic checkpoints and wait out an in-flight one while the
+	// loops can still serve its image requests.
+	e.stopCheckpoints()
 	// Fail in-flight synchronous client calls first: their replies die with
 	// the AEU loops below, so waiting longer only turns a clean ErrClosed
 	// into a 30-second timeout (and a leaked pending entry).
@@ -401,16 +444,37 @@ func (e *Engine) Stop() {
 			break
 		}
 	}
+	e.loopsUp.Store(false)
+	if e.cfg.Durable != nil {
+		// Drain the logs so the final checkpoint (Close) supersedes fully
+		// fsynced generations.
+		e.cfg.Durable.Flush(5 * time.Second)
+	}
 	if e.metricsRv != nil {
 		e.metricsRv.Close()
 		e.metricsRv = nil
 	}
 }
 
-// Close stops the engine; it implements io.Closer for API symmetry.
+// Close stops the engine and, with durability enabled, cuts a final
+// checkpoint and closes the data directory cleanly. A crash-stopped
+// engine skips both — its directory must stay exactly as the crash left
+// it. Close implements io.Closer for API symmetry.
 func (e *Engine) Close() error {
 	e.Stop()
-	return nil
+	mgr := e.cfg.Durable
+	if mgr == nil {
+		return nil
+	}
+	e.stopMu.Lock()
+	crashed := e.crashed
+	e.stopMu.Unlock()
+	if crashed || mgr.Closed() || mgr.Crashed() {
+		return nil
+	}
+	err := e.Checkpoint()
+	mgr.Close()
+	return err
 }
 
 // TotalOps sums completed storage operations over all AEUs.

@@ -1,0 +1,260 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"eris/internal/prefixtree"
+)
+
+// Checkpoint section kinds. A checkpoint file is a sequence of frames in
+// the WAL frame format ([len u32][crc u32][payload]); each payload starts
+// with a section kind byte. The footer frame is written last, so a file
+// without one is an incomplete write and is never trusted — though the
+// manifest protocol (checkpoint fsynced and renamed before the manifest
+// names it) already makes that unreachable short of disk corruption.
+const (
+	ckHeader    byte = 10 // version u32, objects u32, aeus u32
+	ckObject    byte = 11 // id u32, kind u8, domain u64, nameLen u16, name
+	ckTreeImage byte = 12 // aeu u32, obj u32, kvs, links
+	ckColImage  byte = 13 // aeu u32, obj u32, count u32, values
+	ckStamps    byte = 15 // aeu u32, stamp u64, gen u64
+	ckFooter    byte = 16 // magic u64
+)
+
+const (
+	ckVersion     = 1
+	ckFooterMagic = 0xe515_0000_d00d // arbitrary tag marking a complete file
+)
+
+// appendFrame appends one CRC-framed payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// nextFrame parses one frame off data, returning the payload and the rest.
+// ok is false when the remaining bytes do not hold a complete, checksummed
+// frame — a torn tail during WAL replay, corruption in a checkpoint.
+func nextFrame(data []byte) (payload, rest []byte, ok bool) {
+	if len(data) < frameHeader {
+		return nil, data, false
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	if n > maxRecordLen || uint64(frameHeader)+uint64(n) > uint64(len(data)) {
+		return nil, data, false
+	}
+	payload = data[frameHeader : frameHeader+int(n)]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[4:8]) {
+		return nil, data, false
+	}
+	return payload, data[frameHeader+int(n):], true
+}
+
+// writeCheckpointFile serializes data to path via a temp file, fsyncing
+// before the rename so the final name only ever holds a complete file.
+// It returns the file size.
+func writeCheckpointFile(path string, data *CheckpointData) (int64, error) {
+	var buf []byte
+	var p []byte
+
+	p = append(p[:0], ckHeader)
+	p = binary.LittleEndian.AppendUint32(p, ckVersion)
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(data.Objects)))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(data.AEUs)))
+	buf = appendFrame(buf, p)
+
+	for _, o := range data.Objects {
+		p = append(p[:0], ckObject)
+		p = binary.LittleEndian.AppendUint32(p, o.ID)
+		p = append(p, o.Kind)
+		p = binary.LittleEndian.AppendUint64(p, o.Domain)
+		p = binary.LittleEndian.AppendUint16(p, uint16(len(o.Name)))
+		p = append(p, o.Name...)
+		buf = appendFrame(buf, p)
+	}
+
+	for aeu, img := range data.AEUs {
+		p = append(p[:0], ckStamps)
+		p = binary.LittleEndian.AppendUint32(p, uint32(aeu))
+		p = binary.LittleEndian.AppendUint64(p, img.Stamp)
+		p = binary.LittleEndian.AppendUint64(p, uint64(img.Gen))
+		buf = appendFrame(buf, p)
+
+		for _, t := range img.Trees {
+			p = append(p[:0], ckTreeImage)
+			p = binary.LittleEndian.AppendUint32(p, uint32(aeu))
+			p = binary.LittleEndian.AppendUint32(p, t.Obj)
+			p = binary.LittleEndian.AppendUint32(p, uint32(len(t.KVs)))
+			for _, kv := range t.KVs {
+				p = binary.LittleEndian.AppendUint64(p, kv.Key)
+				p = binary.LittleEndian.AppendUint64(p, kv.Value)
+			}
+			p = binary.LittleEndian.AppendUint32(p, uint32(len(t.Links)))
+			for _, lr := range t.Links {
+				p = binary.LittleEndian.AppendUint64(p, lr.Xid)
+				p = binary.LittleEndian.AppendUint64(p, lr.Lo)
+				p = binary.LittleEndian.AppendUint64(p, lr.Hi)
+			}
+			buf = appendFrame(buf, p)
+		}
+		for _, c := range img.Cols {
+			p = append(p[:0], ckColImage)
+			p = binary.LittleEndian.AppendUint32(p, uint32(aeu))
+			p = binary.LittleEndian.AppendUint32(p, c.Obj)
+			p = binary.LittleEndian.AppendUint32(p, uint32(len(c.Values)))
+			for _, v := range c.Values {
+				p = binary.LittleEndian.AppendUint64(p, v)
+			}
+			buf = appendFrame(buf, p)
+		}
+	}
+
+	p = append(p[:0], ckFooter)
+	p = binary.LittleEndian.AppendUint64(p, ckFooterMagic)
+	buf = appendFrame(buf, p)
+
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	return int64(len(buf)), nil
+}
+
+// readCheckpointFile parses a checkpoint file. Any framing or structural
+// defect is an error: checkpoints are only named by the manifest after a
+// complete fsync, so damage here means the directory is corrupt.
+func readCheckpointFile(path string) (*CheckpointData, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	corrupt := func(what string) error {
+		return fmt.Errorf("durable: corrupt checkpoint %s: %s", path, what)
+	}
+	data := &CheckpointData{}
+	sawHeader, sawFooter := false, false
+	rest := raw
+	for len(rest) > 0 {
+		payload, r, ok := nextFrame(rest)
+		if !ok {
+			return nil, corrupt("bad frame")
+		}
+		rest = r
+		if len(payload) < 1 {
+			return nil, corrupt("empty section")
+		}
+		kind, p := payload[0], payload[1:]
+		switch kind {
+		case ckHeader:
+			if len(p) != 12 {
+				return nil, corrupt("header size")
+			}
+			if v := binary.LittleEndian.Uint32(p[0:4]); v != ckVersion {
+				return nil, fmt.Errorf("durable: checkpoint %s has version %d, want %d", path, v, ckVersion)
+			}
+			data.Objects = make([]ObjectMeta, 0, binary.LittleEndian.Uint32(p[4:8]))
+			data.AEUs = make([]AEUImage, binary.LittleEndian.Uint32(p[8:12]))
+			sawHeader = true
+		case ckObject:
+			if !sawHeader || len(p) < 15 {
+				return nil, corrupt("object section")
+			}
+			o := ObjectMeta{
+				ID:     binary.LittleEndian.Uint32(p[0:4]),
+				Kind:   p[4],
+				Domain: binary.LittleEndian.Uint64(p[5:13]),
+			}
+			nameLen := int(binary.LittleEndian.Uint16(p[13:15]))
+			if len(p) != 15+nameLen {
+				return nil, corrupt("object name")
+			}
+			o.Name = string(p[15:])
+			data.Objects = append(data.Objects, o)
+		case ckStamps:
+			if !sawHeader || len(p) != 20 {
+				return nil, corrupt("stamps section")
+			}
+			aeu := int(binary.LittleEndian.Uint32(p[0:4]))
+			if aeu >= len(data.AEUs) {
+				return nil, corrupt("stamps aeu out of range")
+			}
+			data.AEUs[aeu].Stamp = binary.LittleEndian.Uint64(p[4:12])
+			data.AEUs[aeu].Gen = int(binary.LittleEndian.Uint64(p[12:20]))
+		case ckTreeImage:
+			if !sawHeader || len(p) < 12 {
+				return nil, corrupt("tree image header")
+			}
+			aeu := int(binary.LittleEndian.Uint32(p[0:4]))
+			if aeu >= len(data.AEUs) {
+				return nil, corrupt("tree image aeu out of range")
+			}
+			t := TreeImage{Obj: binary.LittleEndian.Uint32(p[4:8])}
+			n := int(binary.LittleEndian.Uint32(p[8:12]))
+			off := 12
+			if len(p) < off+16*n+4 {
+				return nil, corrupt("tree image kvs")
+			}
+			t.KVs = make([]prefixtree.KV, n)
+			for i := range t.KVs {
+				t.KVs[i] = prefixtree.KV{
+					Key:   binary.LittleEndian.Uint64(p[off:]),
+					Value: binary.LittleEndian.Uint64(p[off+8:]),
+				}
+				off += 16
+			}
+			ln := int(binary.LittleEndian.Uint32(p[off:]))
+			off += 4
+			if len(p) != off+24*ln {
+				return nil, corrupt("tree image links")
+			}
+			t.Links = make([]LinkRange, ln)
+			for i := range t.Links {
+				t.Links[i] = LinkRange{
+					Xid: binary.LittleEndian.Uint64(p[off:]),
+					Lo:  binary.LittleEndian.Uint64(p[off+8:]),
+					Hi:  binary.LittleEndian.Uint64(p[off+16:]),
+				}
+				off += 24
+			}
+			data.AEUs[aeu].Trees = append(data.AEUs[aeu].Trees, t)
+		case ckColImage:
+			if !sawHeader || len(p) < 12 {
+				return nil, corrupt("col image header")
+			}
+			aeu := int(binary.LittleEndian.Uint32(p[0:4]))
+			if aeu >= len(data.AEUs) {
+				return nil, corrupt("col image aeu out of range")
+			}
+			c := ColImage{Obj: binary.LittleEndian.Uint32(p[4:8])}
+			n := int(binary.LittleEndian.Uint32(p[8:12]))
+			if len(p) != 12+8*n {
+				return nil, corrupt("col image values")
+			}
+			c.Values = make([]uint64, n)
+			for i := range c.Values {
+				c.Values[i] = binary.LittleEndian.Uint64(p[12+8*i:])
+			}
+			data.AEUs[aeu].Cols = append(data.AEUs[aeu].Cols, c)
+		case ckFooter:
+			if len(p) != 8 || binary.LittleEndian.Uint64(p) != ckFooterMagic {
+				return nil, corrupt("footer")
+			}
+			sawFooter = true
+		default:
+			return nil, corrupt(fmt.Sprintf("unknown section %d", kind))
+		}
+	}
+	if !sawHeader || !sawFooter {
+		return nil, corrupt("missing header or footer")
+	}
+	return data, nil
+}

@@ -52,6 +52,18 @@ const (
 	// SlowWrite delays one wire-server response write, backing the
 	// connection's response stream up against its in-flight limit.
 	SlowWrite
+	// TornWrite tears the unsynced tail of each write-ahead log at crash:
+	// bytes written to the OS but not covered by an fsync are truncated at
+	// a random offset, possibly mid-record. Recovery must stop cleanly at
+	// the last valid frame.
+	TornWrite
+	// FailFsync makes a WAL group-commit fsync fail transiently; the log
+	// writer must retry (acks stay parked) instead of losing durability.
+	FailFsync
+	// Crash requests a hard engine stop (no drain, no settle) from inside
+	// the durability layer: the eligible event is one WAL record append,
+	// so a seeded rule picks a reproducible crash point mid-workload.
+	Crash
 	numKinds
 )
 
@@ -72,6 +84,12 @@ func (k Kind) String() string {
 		return "drop_conn"
 	case SlowWrite:
 		return "slow_write"
+	case TornWrite:
+		return "torn_write"
+	case FailFsync:
+		return "fail_fsync"
+	case Crash:
+		return "crash"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
