@@ -107,16 +107,29 @@ type Partition struct {
 	colXferGen  atomic.Int64
 	colInFlight atomic.Int64
 
+	// Range-transfer accounting (range objects), the same scheme for the
+	// checkpoint bracket: a checkpoint whose image collection two equal
+	// generation sums with zero in flight surround saw no range payload
+	// mid-move, so every moved range is fully inside exactly one AEU's
+	// image — a source image cut after its handoff (pruning the handoff's
+	// generation) can never be published while the payload is still in
+	// flight to a target whose image predates the link.
+	rngXferGen  atomic.Int64
+	rngInFlight atomic.Int64
+
 	// Monitoring counters sampled by the load balancer.
 	accesses  atomic.Int64 // keys/commands touched in the current window
 	cmdTimePS atomic.Int64 // processing time in the current window
 	cmdCount  atomic.Int64
 
-	// links records transfers applied into this partition since its last
-	// checkpoint image (range objects, WAL attached only). Persisted with
-	// the image so recovery can tell a checkpointed link from one that
-	// never happened; reset when the image is cut.
-	links []durable.LinkRange
+	// links records transfers applied into this partition (range objects,
+	// WAL attached only). Persisted with every checkpoint image so
+	// recovery can tell a checkpointed link from one that never happened.
+	// An entry is dropped only once a *published* checkpoint's stamp
+	// covers its link record — a snapshot that is later discarded (column
+	// or range transfer overlapped the collection, image timeout, write
+	// error) must not lose provenance the next attempt still needs.
+	links []linkEntry
 }
 
 // RecordAccess bumps the partition's access-frequency counter; the AEU's
@@ -153,6 +166,7 @@ type transfer struct {
 	kvs    []prefixtree.KV
 	det    *colstore.Detached
 	srcCol *Partition // column transfers: source partition, for in-flight accounting
+	srcRng *Partition // range transfers: source partition, for in-flight accounting
 	lo     uint64
 	hi     uint64
 	// xid is the source's WAL handoff sequence number (0 when the engine
@@ -174,6 +188,14 @@ type transfer struct {
 // keyRange is an inclusive key interval.
 type keyRange struct {
 	lo, hi uint64
+}
+
+// linkEntry pairs an applied transfer's link range with the WAL sequence
+// number of its link record, so SnapshotDurable can tell which entries a
+// published checkpoint stamp covers.
+type linkEntry struct {
+	lr  durable.LinkRange
+	seq uint64
 }
 
 // heldAck is an epoch acknowledgement parked by the DelayEpochDone fault.

@@ -140,6 +140,9 @@ func (a *AEU) handleFetch(c command.Command) {
 			p.Hi = f.Lo - 1
 		}
 		ex := p.Tree.ExtractRange(a.Core, f.Lo, f.Hi)
+		t.srcRng = p
+		p.rngXferGen.Add(1)
+		p.rngInFlight.Add(1)
 		dbg("aeu%d obj%d handleFetch req=aeu%d [%d,%d] tag=%d extracted=%d auth=%v bounds [%d,%d]->[%d,%d]", a.ID, c.Object, c.Source, f.Lo, f.Hi, c.Tag, ex.Count(), t.auth, oldLo, oldHi, p.Lo, p.Hi)
 		if a.wal != nil {
 			// Log ownership of [lo, hi] hands off with the data: the
@@ -181,6 +184,9 @@ func (a *AEU) receiveTransfers() {
 			if t.srcCol != nil {
 				t.srcCol.colInFlight.Add(-1)
 			}
+			if t.srcRng != nil {
+				t.srcRng.rngInFlight.Add(-1)
+			}
 			a.completeFetch(t.obj, t.epoch)
 			continue
 		}
@@ -191,14 +197,14 @@ func (a *AEU) receiveTransfers() {
 				// tuples): a transfer whose handoff record was lost to a
 				// crash still replays. Flatten is a non-destructive read,
 				// so linking afterwards is sound.
-				a.wal.AppendLink(uint32(t.obj), t.lo, t.hi, t.xid, t.ex.Flatten(a.Core))
-				p.links = append(p.links, durable.LinkRange{Xid: t.xid, Lo: t.lo, Hi: t.hi})
+				seq := a.wal.AppendLink(uint32(t.obj), t.lo, t.hi, t.xid, t.ex.Flatten(a.Core))
+				p.links = append(p.links, linkEntry{lr: durable.LinkRange{Xid: t.xid, Lo: t.lo, Hi: t.hi}, seq: seq})
 			}
 			p.Tree.Link(a.Core, t.ex)
 		case t.kvs != nil:
 			if a.wal != nil {
-				a.wal.AppendLink(uint32(t.obj), t.lo, t.hi, t.xid, t.kvs)
-				p.links = append(p.links, durable.LinkRange{Xid: t.xid, Lo: t.lo, Hi: t.hi})
+				seq := a.wal.AppendLink(uint32(t.obj), t.lo, t.hi, t.xid, t.kvs)
+				p.links = append(p.links, linkEntry{lr: durable.LinkRange{Xid: t.xid, Lo: t.lo, Hi: t.hi}, seq: seq})
 			}
 			p.Tree.RebuildFrom(a.Core, t.kvs)
 		case t.det != nil:
@@ -210,6 +216,13 @@ func (a *AEU) receiveTransfers() {
 			if t.srcCol != nil {
 				t.srcCol.colInFlight.Add(-1)
 			}
+		}
+		if t.srcRng != nil {
+			// Landed (even an empty payload arrives and completes here):
+			// bump the target generation, release the source's in-flight
+			// slot — the checkpoint bracket reads both.
+			p.rngXferGen.Add(1)
+			t.srcRng.rngInFlight.Add(-1)
 		}
 		if p.Kind == routing.RangePartitioned {
 			dbg("aeu%d obj%d linked transfer [%d,%d] epoch=%d from=aeu%d auth=%v", a.ID, t.obj, t.lo, t.hi, t.epoch, t.from, t.auth)
@@ -696,6 +709,19 @@ func (a *AEU) sendRepairs() bool {
 func (a *AEU) ColXferState(obj routing.ObjectID) (gen, inflight int64) {
 	if p := a.parts[obj]; p != nil {
 		return p.colXferGen.Load(), p.colInFlight.Load()
+	}
+	return 0, 0
+}
+
+// RngXferState returns this AEU's range-transfer generation and in-flight
+// payload count for obj (zero when it holds no partition of it). The
+// engine's checkpoint collection brackets itself with the sums across
+// AEUs: equal sums with nothing in flight mean no range payload moved
+// while the images were cut, so every moved range is fully inside exactly
+// one image and no handoff record is pruned while its payload is afloat.
+func (a *AEU) RngXferState(obj routing.ObjectID) (gen, inflight int64) {
+	if p := a.parts[obj]; p != nil {
+		return p.rngXferGen.Load(), p.rngInFlight.Load()
 	}
 	return 0, 0
 }

@@ -61,8 +61,10 @@ func (a *AEU) serveCheckpoint() bool {
 // quiescent; never concurrently with the loop.
 func (a *AEU) SnapshotDurable() durable.AEUImage {
 	var img durable.AEUImage
+	var published uint64
 	if a.wal != nil {
 		img.Stamp, img.Gen = a.wal.Rotate()
+		published = a.wal.PublishedStamp()
 	}
 	for _, p := range a.partList {
 		switch p.Kind {
@@ -72,10 +74,19 @@ func (a *AEU) SnapshotDurable() durable.AEUImage {
 				t.KVs = append(t.KVs, prefixtree.KV{Key: k, Value: v})
 				return true
 			})
-			if len(p.links) > 0 {
-				t.Links = append([]durable.LinkRange(nil), p.links...)
-				p.links = p.links[:0]
+			// Every retained link goes into the image, but an entry is
+			// retired only once a *published* checkpoint covers its link
+			// record: this image may yet be discarded (transfer overlap,
+			// image timeout, checkpoint write error), and provenance
+			// cleared on a discarded attempt would be lost to the retry.
+			kept := p.links[:0]
+			for _, le := range p.links {
+				t.Links = append(t.Links, le.lr)
+				if le.seq > published {
+					kept = append(kept, le)
+				}
 			}
+			p.links = kept
 			img.Trees = append(img.Trees, t)
 		case routing.SizePartitioned:
 			img.Cols = append(img.Cols, durable.ColImage{

@@ -61,7 +61,7 @@ func TestChaosLinearizability(t *testing.T) {
 			// serving stack.
 			continue
 		}
-		if kind == faults.TornWrite || kind == faults.FailFsync || kind == faults.Crash {
+		if kind == faults.TornWrite || kind == faults.FailFsync || kind == faults.FailWrite || kind == faults.Crash {
 			// Durability faults; only consulted with a data directory. The
 			// crash-recovery history test covers them.
 			continue

@@ -60,7 +60,7 @@ func TestChaosRangeBalancing(t *testing.T) {
 			// internal/server exercises both.
 			continue
 		}
-		if kind == faults.TornWrite || kind == faults.FailFsync || kind == faults.Crash {
+		if kind == faults.TornWrite || kind == faults.FailFsync || kind == faults.FailWrite || kind == faults.Crash {
 			// Durability faults; only consulted with a data directory.
 			// The crash-recovery suite exercises them.
 			continue

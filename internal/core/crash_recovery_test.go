@@ -121,6 +121,10 @@ func TestCrashRecoveryHistory(t *testing.T) {
 			}
 			inj.Arm(faults.Crash, faults.Rule{After: after, Every: 1, Limit: 1})
 			inj.Arm(faults.TornWrite, faults.Rule{Every: 1})
+			// Transient write failures along the way: the group-commit
+			// writer must retry the segment in place, never drop it and
+			// advance the durable watermark past the lost records.
+			inj.Arm(faults.FailWrite, faults.Rule{Every: 40, Limit: 25})
 
 			rec := history.New(clients+1, logEvents)
 			var wg sync.WaitGroup

@@ -22,11 +22,18 @@ func (e *Engine) Durable() *durable.Manager { return e.cfg.Durable }
 // images are requested through the running loops (each AEU snapshots its
 // partitions at an iteration boundary, rotating its WAL so the image's
 // stamp is its replay cut); on a quiescent engine they are cut directly.
-// Images are fuzzy across AEUs — a range transfer in flight during the
-// collection is reassembled at recovery from its handoff/link records —
-// but column transfers carry no log records, so the collection is
-// bracketed by the column-transfer generation counters and retried until
-// no column payload moved while it ran.
+// Images are fuzzy across AEUs, so the collection is bracketed by the
+// per-partition transfer generation counters and retried until no payload
+// moved while it ran. Column transfers carry no log records, making the
+// bracket their only consistency mechanism. Range transfers do log
+// handoff/link pairs, but the bracket is still required: a checkpoint cut
+// with a range payload in flight could capture the source after its
+// handoff (pruning the handoff's generation — the extraction is inside
+// the image) while the target's image predates the link, and a crash
+// before the link record reaches disk would then lose the whole moved
+// range with nothing left to replay it from. Transfers in flight at
+// *crash* time (rather than checkpoint time) are the case the handoff/
+// link replay covers.
 func (e *Engine) Checkpoint() error {
 	mgr := e.cfg.Durable
 	if mgr == nil {
@@ -50,12 +57,13 @@ func (e *Engine) Checkpoint() error {
 }
 
 // collectImages gathers one checkpoint's object metadata and per-AEU
-// images, failing when a column transfer overlapped the collection.
+// images, failing when a column or range transfer overlapped the
+// collection.
 func (e *Engine) collectImages() (*durable.CheckpointData, error) {
-	gen1, inflight := e.colXferSum()
+	gen1, inflight := e.xferSum()
 	if inflight != 0 {
 		time.Sleep(200 * time.Microsecond)
-		return nil, fmt.Errorf("column transfer in flight")
+		return nil, fmt.Errorf("partition transfer in flight")
 	}
 	data := &durable.CheckpointData{AEUs: make([]durable.AEUImage, len(e.aeus))}
 	if e.loopsUp.Load() {
@@ -77,9 +85,9 @@ func (e *Engine) collectImages() (*durable.CheckpointData, error) {
 			data.AEUs[i] = a.SnapshotDurable()
 		}
 	}
-	gen2, inflight := e.colXferSum()
+	gen2, inflight := e.xferSum()
 	if gen1 != gen2 || inflight != 0 {
-		return nil, fmt.Errorf("column transfer overlapped the image collection")
+		return nil, fmt.Errorf("partition transfer overlapped the image collection")
 	}
 	for id, meta := range e.objects {
 		kind := durable.KindRange
@@ -94,15 +102,21 @@ func (e *Engine) collectImages() (*durable.CheckpointData, error) {
 	return data, nil
 }
 
-// colXferSum sums the column-transfer state over every (AEU, column
-// object) pair — the whole-engine version of the bracket client scans use.
-func (e *Engine) colXferSum() (gen, inflight int64) {
+// xferSum sums the partition-transfer state over every (AEU, object)
+// pair — column-transfer counters for size objects, range-transfer
+// counters for range objects; the whole-engine version of the bracket
+// client scans use. Generations only ever grow, so two equal sums with
+// zero in flight at both readings prove no transfer started, landed, or
+// was afloat in between.
+func (e *Engine) xferSum() (gen, inflight int64) {
 	for id, meta := range e.objects {
-		if meta.kind != routing.SizePartitioned {
-			continue
-		}
 		for _, a := range e.aeus {
-			g, f := a.ColXferState(id)
+			var g, f int64
+			if meta.kind == routing.SizePartitioned {
+				g, f = a.ColXferState(id)
+			} else {
+				g, f = a.RngXferState(id)
+			}
 			gen += g
 			inflight += f
 		}

@@ -115,6 +115,10 @@ type Manager struct {
 	objNames map[uint32]string
 	closed   bool
 	crashed  bool
+	// pubStamps holds each AEU's image stamp in the last checkpoint this
+	// session durably published. Link provenance below it may be dropped;
+	// everything newer must survive discarded checkpoint attempts.
+	pubStamps map[int]uint64
 
 	// Counters (plain atomics so recovery, which runs before the engine's
 	// registry exists, is still counted; AttachMetrics exports them).
@@ -152,6 +156,7 @@ func Open(opts Options) (*Manager, error) {
 		tearRng:    rand.New(rand.NewSource(seed)),
 		logs:       make(map[int]*Log),
 		objNames:   make(map[uint32]string),
+		pubStamps:  make(map[int]uint64),
 	}
 	// New sessions always log into fresh generations: never append to a
 	// file that may have a torn tail.
@@ -388,6 +393,9 @@ func (m *Manager) WriteCheckpoint(data CheckpointData) error {
 	m.syncDir()
 	m.mu.Lock()
 	m.man = &man
+	for i := range data.AEUs {
+		m.pubStamps[i] = data.AEUs[i].Stamp
+	}
 	m.mu.Unlock()
 	m.checkpoints.Add(1)
 	m.ckptBytes.Add(bytes)
@@ -397,7 +405,13 @@ func (m *Manager) WriteCheckpoint(data CheckpointData) error {
 
 // prune deletes checkpoints older than n and log generations the new
 // checkpoint's stamps supersede (per AEU, generations <= the image's
-// sealed generation are fully contained in the image).
+// sealed generation are fully contained in the image). Logs of AEU ids
+// the checkpoint does not cover are deleted outright: they belong to a
+// previous session that ran with more workers, recovery already merged
+// their contents into the current AEUs (and therefore into this
+// checkpoint), and leaving them on disk would make a later recovery
+// replay them from stamp 0 — resurrecting deleted keys and letting stale
+// link xids win conflicts.
 func (m *Manager) prune(n uint64, data *CheckpointData) {
 	entries, err := os.ReadDir(m.dir)
 	if err != nil {
@@ -418,14 +432,22 @@ func (m *Manager) prune(n uint64, data *CheckpointData) {
 			}
 			aeu, err1 := strconv.Atoi(parts[0])
 			gen, err2 := strconv.Atoi(parts[1])
-			if err1 != nil || err2 != nil || aeu >= len(data.AEUs) {
+			if err1 != nil || err2 != nil {
 				continue
 			}
-			if gen <= data.AEUs[aeu].Gen {
+			if aeu >= len(data.AEUs) || gen <= data.AEUs[aeu].Gen {
 				os.Remove(filepath.Join(m.dir, name))
 			}
 		}
 	}
+}
+
+// publishedStamp returns one AEU's image stamp in the last checkpoint
+// published this session (0 before one publishes).
+func (m *Manager) publishedStamp(aeu int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pubStamps[aeu]
 }
 
 // observeGroup records one group commit's record count.

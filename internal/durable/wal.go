@@ -22,6 +22,7 @@ package durable
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -32,6 +33,10 @@ import (
 	"eris/internal/faults"
 	"eris/internal/prefixtree"
 )
+
+// errInjectedWrite is the error a fail_write fault substitutes for the
+// file write's result.
+var errInjectedWrite = errors.New("durable: injected write failure")
 
 // Record kinds.
 const (
@@ -126,6 +131,11 @@ func (l *Log) LastSeq() uint64 {
 
 // Sync reports whether acks must wait for the covering fsync.
 func (l *Log) Sync() bool { return l.mgr.syncWrites }
+
+// PublishedStamp returns this AEU's image stamp in the last durably
+// published checkpoint (0 before one publishes this session). Link
+// provenance at or below it is persisted and safe to drop.
+func (l *Log) PublishedStamp() uint64 { return l.mgr.publishedStamp(l.id) }
 
 // open returns the segment for the current generation, growing a frame of
 // payload length n at its end; the returned slice is the payload area.
@@ -387,7 +397,9 @@ func (l *Log) writer() {
 				}
 				break
 			}
-			l.writeBatch(segs)
+			if !l.writeBatch(segs) {
+				return // crash raced the batch; file left as written, Manager tears the tail
+			}
 			l.recycle(segs)
 		}
 	}
@@ -396,22 +408,18 @@ func (l *Log) writer() {
 // writeBatch writes and fsyncs a batch of segments, switching files at
 // generation boundaries (the previous generation is fsynced before the
 // next opens, so at most the newest file can ever have an unsynced tail).
-func (l *Log) writeBatch(segs []*segment) {
+// Like fsync, writes retry until they succeed: a dropped segment would
+// otherwise let the next batch's fsync advance the durable watermark past
+// records that never reached the OS, releasing acks for lost data. It
+// reports false only when a crash raced the batch — then nothing about
+// this batch is published and the segments die with the simulated buffers.
+func (l *Log) writeBatch(segs []*segment) bool {
 	var last uint64
 	var bytes int64
 	var records int
 	for _, s := range segs {
-		if err := l.ensureFile(s.gen); err != nil {
-			l.lastErr = err
-			l.mgr.logErrors.Add(1)
-			return
-		}
-		n, err := l.file.Write(s.data)
-		l.writtenOff += int64(n)
-		if err != nil {
-			l.lastErr = err
-			l.mgr.logErrors.Add(1)
-			return
+		if !l.ensureFileRetry(s.gen) || !l.writeAll(s.data) {
+			return false
 		}
 		bytes += int64(len(s.data))
 		records += s.records
@@ -419,7 +427,9 @@ func (l *Log) writeBatch(segs []*segment) {
 			last = s.last
 		}
 	}
-	l.fsync()
+	if !l.fsync() {
+		return false
+	}
 	if last > 0 {
 		l.durable.Store(last)
 	}
@@ -427,12 +437,58 @@ func (l *Log) writeBatch(segs []*segment) {
 	l.mgr.bytesLogged.Add(bytes)
 	l.mgr.fsyncs.Add(1)
 	l.mgr.observeGroup(int64(records))
+	return true
+}
+
+// writeAll appends data to the open file, retrying through short writes
+// and transient errors (ENOSPC, injected fail_write). It reports false
+// when a crash raced the retry loop.
+func (l *Log) writeAll(data []byte) bool {
+	for len(data) > 0 {
+		var n int
+		var err error
+		if l.mgr.faults.Should(faults.FailWrite) {
+			err = errInjectedWrite
+		} else {
+			n, err = l.file.Write(data)
+		}
+		l.writtenOff += int64(n)
+		data = data[n:]
+		if err == nil {
+			continue
+		}
+		l.lastErr = err
+		l.mgr.logErrors.Add(1)
+		if l.isCrashed() {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return true
+}
+
+// ensureFileRetry opens the generation's log file, retrying transient
+// failures; false means a crash raced the retry loop.
+func (l *Log) ensureFileRetry(gen int) bool {
+	for {
+		err := l.ensureFile(gen)
+		if err == nil {
+			return true
+		}
+		l.lastErr = err
+		l.mgr.logErrors.Add(1)
+		if l.isCrashed() {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
 }
 
 // fsync syncs the open file, retrying through injected failures: a parked
 // ack must never release on a failed sync, and a transient failure must
-// not lose the records behind it.
-func (l *Log) fsync() {
+// not lose the records behind it. It reports false when a crash raced the
+// retry loop (the sync never succeeded).
+func (l *Log) fsync() bool {
 	for {
 		if l.mgr.faults.Should(faults.FailFsync) {
 			l.mgr.fsyncFailures.Add(1)
@@ -440,17 +496,20 @@ func (l *Log) fsync() {
 			l.mgr.fsyncFailures.Add(1)
 			l.lastErr = err
 		} else {
-			return
+			return true
 		}
-		// Bail out if a crash or close raced the retry loop.
-		l.mu.Lock()
-		dead := l.crashed
-		l.mu.Unlock()
-		if dead {
-			return
+		if l.isCrashed() {
+			return false
 		}
 		time.Sleep(200 * time.Microsecond)
 	}
+}
+
+// isCrashed reports whether crash() was called.
+func (l *Log) isCrashed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.crashed
 }
 
 // ensureFile opens the log file for generation gen, fsyncing and closing
@@ -476,8 +535,9 @@ func (l *Log) closeFile() {
 	if l.file == nil {
 		return
 	}
-	l.fsync()
-	l.durableOff = l.writtenOff
+	if l.fsync() {
+		l.durableOff = l.writtenOff
+	}
 	l.file.Close()
 	l.file = nil
 }

@@ -200,6 +200,120 @@ func TestFailFsyncRetries(t *testing.T) {
 	m.Close()
 }
 
+// fail_write faults make the group-commit writer retry the segment in
+// place. Dropping it instead would let the next batch's fsync advance the
+// durable watermark past records that never reached the OS — acks would
+// release for data that is not on disk.
+func TestFailWriteRetries(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.New(11)
+	inj.Arm(faults.FailWrite, faults.Rule{Every: 1, Limit: 4})
+	m, err := Open(Options{Dir: dir, SyncWrites: true, Faults: inj})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	baseCheckpoint(t, m, 1, ObjectMeta{ID: 1, Kind: KindRange, Domain: 100, Name: "t"})
+	l := m.Log(0)
+	l.AppendUpsert(1, kvs(1, 10))
+	l.AppendUpsert(1, kvs(2, 20))
+	if err := m.Flush(5 * time.Second); err != nil {
+		t.Fatalf("Flush despite write retries: %v", err)
+	}
+	if got, want := l.DurableSeq(), l.LastSeq(); got != want {
+		t.Fatalf("DurableSeq=%d want LastSeq=%d", got, want)
+	}
+	if m.logErrors.Load() == 0 {
+		t.Fatal("logErrors=0, want >0 with fail_write armed")
+	}
+	m.Close()
+
+	m2 := openManager(t, dir, true)
+	defer m2.Close()
+	rec, err := m2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	got := map[uint64]uint64{}
+	for _, kv := range rec.Objects[0].KVs {
+		got[kv.Key] = kv.Value
+	}
+	if got[1] != 10 || got[2] != 20 {
+		t.Fatalf("records lost across write retries: recovered %v", got)
+	}
+	if rec.TornTails != 0 {
+		t.Fatalf("TornTails=%d want 0", rec.TornTails)
+	}
+}
+
+// A checkpoint covering fewer AEUs than a previous session ran with must
+// delete the extra AEUs' logs: recovery already merged them, and a later
+// recovery finding them (logs but no image) would replay them from stamp
+// 0 — resurrecting deleted keys.
+func TestPruneDeletesStaleAEULogs(t *testing.T) {
+	dir := t.TempDir()
+	obj := ObjectMeta{ID: 1, Kind: KindRange, Domain: 100, Name: "t"}
+
+	// Session 1: two workers.
+	m1 := openManager(t, dir, true)
+	baseCheckpoint(t, m1, 2, obj)
+	m1.Log(0).AppendUpsert(1, kvs(1, 10))
+	m1.Log(1).AppendUpsert(1, kvs(5, 50))
+	if err := m1.Flush(time.Second); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	m1.Close()
+
+	// Session 2: one worker. Recovery merges both logs; the post-recovery
+	// checkpoint covers one AEU and must dispose of AEU 1's old log.
+	m2 := openManager(t, dir, true)
+	rec, err := m2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(rec.Objects) != 1 || len(rec.Objects[0].KVs) != 2 {
+		t.Fatalf("recovered %+v, want keys {1,5}", rec.Objects)
+	}
+	l0 := m2.Log(0)
+	stamp, gen := l0.Rotate()
+	data := CheckpointData{
+		Objects: []ObjectMeta{obj},
+		AEUs: []AEUImage{{
+			Stamp: stamp, Gen: gen,
+			Trees: []TreeImage{{Obj: 1, KVs: rec.Objects[0].KVs}},
+		}},
+	}
+	if err := m2.WriteCheckpoint(data); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	if stale, _ := filepath.Glob(filepath.Join(dir, "wal-1-*.log")); len(stale) != 0 {
+		t.Fatalf("stale AEU 1 logs survive the checkpoint: %v", stale)
+	}
+
+	// Deleting a key the stale log held must stick across another cycle.
+	l0.AppendDelete(1, []uint64{5})
+	if err := m2.Flush(time.Second); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	m2.Close()
+
+	m3 := openManager(t, dir, true)
+	defer m3.Close()
+	rec3, err := m3.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	got := map[uint64]uint64{}
+	for _, kv := range rec3.Objects[0].KVs {
+		got[kv.Key] = kv.Value
+	}
+	if _, resurrected := got[5]; resurrected {
+		t.Fatalf("deleted key resurrected from a stale AEU's log: %v", got)
+	}
+	if got[1] != 10 {
+		t.Fatalf("surviving key lost: %v", got)
+	}
+}
+
 // Crash drops buffered-but-unwritten records; what Flush acknowledged
 // before the crash survives recovery.
 func TestCrashDropsUnsyncedTail(t *testing.T) {

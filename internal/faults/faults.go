@@ -60,6 +60,10 @@ const (
 	// FailFsync makes a WAL group-commit fsync fail transiently; the log
 	// writer must retry (acks stay parked) instead of losing durability.
 	FailFsync
+	// FailWrite makes a WAL group-commit file write fail transiently; the
+	// writer must retry the segment in place — dropping it would let a
+	// later fsync advance the durable watermark past the lost records.
+	FailWrite
 	// Crash requests a hard engine stop (no drain, no settle) from inside
 	// the durability layer: the eligible event is one WAL record append,
 	// so a seeded rule picks a reproducible crash point mid-workload.
@@ -88,6 +92,8 @@ func (k Kind) String() string {
 		return "torn_write"
 	case FailFsync:
 		return "fail_fsync"
+	case FailWrite:
+		return "fail_write"
 	case Crash:
 		return "crash"
 	}
