@@ -384,6 +384,8 @@ type group struct {
 
 // mixedDeadlines reports whether the group's members disagree on their
 // deadline (dls materialized).
+//
+//eris:hotpath
 func (g *group) mixedDeadlines() bool { return len(g.dls) > 0 }
 
 // New creates an AEU pinned to core id of the machine.
@@ -431,6 +433,8 @@ func (a *AEU) Router() *routing.Router { return a.router }
 func (a *AEU) Machine() *numasim.Machine { return a.machine }
 
 // Outbox returns this AEU's private outgoing buffers.
+//
+//eris:hotpath
 func (a *AEU) Outbox() *routing.Outbox { return a.router.Outbox(a.ID) }
 
 // SetEpochDone installs the balancer's completion callback.
@@ -508,13 +512,13 @@ func (a *AEU) Stopped() bool { return a.stop.Load() }
 func (a *AEU) deliverTransfer(t transfer) {
 	if !t.stalled && a.faults.Should(faults.StallTransfer) {
 		t.stalled = true
-		a.mailMu.Lock()
+		a.mailMu.Lock() //eris:allowblock bounded mailbox append; contended only by control-plane transfer senders
 		a.stalledMail = append(a.stalledMail, t)
 		a.mailMu.Unlock()
 		a.stalledCnt.Add(1)
 		return
 	}
-	a.mailMu.Lock()
+	a.mailMu.Lock() //eris:allowblock bounded mailbox append; contended only by control-plane transfer senders
 	a.mail = append(a.mail, t)
 	a.mailMu.Unlock()
 	a.mailCnt.Add(1)
@@ -526,7 +530,7 @@ func (a *AEU) releaseStalled() bool {
 	if a.stalledCnt.Load() == 0 {
 		return false
 	}
-	a.mailMu.Lock()
+	a.mailMu.Lock() //eris:allowblock bounded mailbox swap; contended only by control-plane transfer senders
 	st := a.stalledMail
 	a.stalledMail = nil
 	a.mail = append(a.mail, st...)
@@ -555,6 +559,8 @@ func (a *AEU) Stats() Stats {
 }
 
 // ClockNS returns this AEU's virtual time in nanoseconds.
+//
+//eris:hotpath
 func (a *AEU) ClockNS() float64 { return a.machine.ClockNS(a.Core) }
 
 // ClockSec returns this AEU's virtual time in seconds.
@@ -562,9 +568,13 @@ func (a *AEU) ClockSec() float64 { return a.ClockNS() / 1e9 }
 
 // CountOps records externally executed storage operations (generator-driven
 // benchmark work) in the AEU's throughput accounting.
+//
+//eris:hotpath
 func (a *AEU) CountOps(n int64) { a.countOps(n) }
 
 // countOps records completed storage operations for throughput accounting.
+//
+//eris:hotpath
 func (a *AEU) countOps(n int64) {
 	a.machine.CountOps(a.Core, n)
 	a.opsDone.Add(n)

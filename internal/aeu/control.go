@@ -167,7 +167,7 @@ func (a *AEU) handleFetch(c command.Command) {
 // payloads into the local partitions and releasing deferred commands once
 // an epoch completes.
 func (a *AEU) receiveTransfers() {
-	a.mailMu.Lock()
+	a.mailMu.Lock() //eris:allowblock bounded mailbox swap; contended only by control-plane transfer senders
 	incoming := a.mail
 	a.mail = nil
 	a.mailMu.Unlock()
@@ -389,6 +389,8 @@ func (a *AEU) completeFetch(obj routing.ObjectID, epoch uint64) {
 
 // overlapsPending reports whether [lo, hi] intersects a range whose data
 // has not arrived yet.
+//
+//eris:hotpath
 func (a *AEU) overlapsPending(lo, hi uint64) bool {
 	for _, r := range a.pendingRanges {
 		if lo <= r.hi && hi >= r.lo {

@@ -101,6 +101,8 @@ func (a *AEU) SnapshotDurable() durable.AEUImage {
 // parkAck defers a client ack until seq is durable. It reports false when
 // the ack should be sent immediately instead (no WAL, SyncWrites off, or
 // nothing was logged).
+//
+//eris:hotpath
 func (a *AEU) parkAck(k groupKey, answered int, seq uint64) bool {
 	if !a.walSync || seq == 0 {
 		return false

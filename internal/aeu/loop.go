@@ -21,6 +21,8 @@ const (
 
 // Run executes the AEU loop until Stop is called. It is the goroutine body
 // the engine spawns per worker.
+//
+//eris:loop
 func (a *AEU) Run() {
 	iter := 0
 	for !a.stop.Load() {
@@ -131,6 +133,8 @@ func (a *AEU) updateSkew() {
 // commands are decoded zero-copy, so c.Keys and c.KVs are valid only for
 // the duration of this call: batch contents are copied into the group
 // immediately, and retained scan bounds are cloned into the group's arena.
+//
+//eris:hotpath
 func (a *AEU) classify(c command.Command) {
 	switch c.Op {
 	case command.OpLookup, command.OpUpsert, command.OpDelete:
@@ -186,28 +190,35 @@ func (a *AEU) classify(c command.Command) {
 	case command.OpResult:
 		a.handleResult(c)
 	case command.OpBalance:
-		a.handleBalance(c)
+		a.handleBalance(c) //eris:allowalloc control-plane dispatch; balance traffic is off the data hot path
 	case command.OpFetch:
-		a.handleFetch(c)
+		a.handleFetch(c) //eris:allowalloc control-plane dispatch; fetch traffic is off the data hot path
 	case command.OpError:
-		a.handleError(c)
+		a.handleError(c) //eris:allowalloc control-plane dispatch; error handling is off the data hot path
 	default:
-		// A command that decoded but carries an op this loop does not
-		// serve; it cannot be executed, but a requester waiting on it must
-		// hear that — a silent drop would leave a remote client hanging
-		// until its timeout.
-		a.ctrlErrors.Inc()
-		if c.ReplyTo != command.NoReply {
-			a.replyErr(
-				groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source},
-				answeredOf(c),
-				fmt.Errorf("aeu %d: unserved op %v", a.ID, c.Op),
-			)
-		}
+		a.rejectUnserved(c) //eris:allowalloc cold rejection path; a served op never reaches it
+	}
+}
+
+// rejectUnserved answers a command that decoded but carries an op this loop
+// does not serve; it cannot be executed, but a requester waiting on it must
+// hear that — a silent drop would leave a remote client hanging until its
+// timeout. Deliberately not //eris:hotpath: the error construction below
+// allocates, and keeping it out of classify keeps the hot path alloc-free.
+func (a *AEU) rejectUnserved(c command.Command) {
+	a.ctrlErrors.Inc()
+	if c.ReplyTo != command.NoReply {
+		a.replyErr(
+			groupKey{obj: routing.ObjectID(c.Object), replyTo: c.ReplyTo, tag: c.Tag, source: c.Source},
+			answeredOf(c),
+			fmt.Errorf("aeu %d: unserved op %v", a.ID, c.Op),
+		)
 	}
 }
 
 // mergeDeadline combines batch deadlines: the earliest non-zero one wins.
+//
+//eris:hotpath
 func mergeDeadline(cur, next uint64) uint64 {
 	if next != 0 && (cur == 0 || next < cur) {
 		return next
@@ -218,6 +229,8 @@ func mergeDeadline(cur, next uint64) uint64 {
 // answeredOf is how many request units a definitive failure of c settles,
 // mirroring the accounting of successful replies (keys for batches, one
 // per scan command); never zero so a waiting issuer always makes progress.
+//
+//eris:hotpath
 func answeredOf(c command.Command) int {
 	n := len(c.Keys)
 	if len(c.KVs) > n {
@@ -234,6 +247,8 @@ func answeredOf(c command.Command) int {
 
 // drainRequeue reclassifies commands released from the deferred queue,
 // expiring those whose deadline passed while they were parked.
+//
+//eris:hotpath
 func (a *AEU) drainRequeue() {
 	if len(a.requeue) == 0 {
 		return
@@ -241,7 +256,7 @@ func (a *AEU) drainRequeue() {
 	now := uint64(time.Now().UnixNano())
 	for _, c := range a.requeue {
 		if c.Deadline != 0 && now > c.Deadline {
-			a.expireCommand(c)
+			a.expireCommand(c) //eris:allowalloc deadline-expiry path; expired commands are off the steady-state path
 			continue
 		}
 		a.classify(c)
@@ -261,7 +276,7 @@ func (a *AEU) expireDeferred() {
 	kept := a.deferred[:0]
 	for _, c := range a.deferred {
 		if c.Deadline != 0 && now > c.Deadline {
-			a.expireCommand(c)
+			a.expireCommand(c) //eris:allowalloc deadline-expiry path; expired commands are off the steady-state path
 			continue
 		}
 		kept = append(kept, c)
@@ -282,6 +297,8 @@ func (a *AEU) expireCommand(c command.Command) {
 }
 
 // group returns the group for k, recycling a released one when available.
+//
+//eris:hotpath
 func (a *AEU) group(k groupKey) *group {
 	g := a.groups[k]
 	if g == nil {
@@ -289,7 +306,7 @@ func (a *AEU) group(k groupKey) *group {
 			g = a.groupFree[n-1]
 			a.groupFree = a.groupFree[:n-1]
 		} else {
-			g = &group{}
+			g = &group{} //eris:allowalloc pool-miss fallback; groups recycle through a.groupFree after warmup
 		}
 		a.groups[k] = g
 		a.order = append(a.order, k)
@@ -299,6 +316,8 @@ func (a *AEU) group(k groupKey) *group {
 
 // releaseGroup returns a processed group to the freelist, keeping the
 // batch capacity for the next loop iteration.
+//
+//eris:hotpath
 func (a *AEU) releaseGroup(k groupKey, g *group) {
 	delete(a.groups, k)
 	g.keys = g.keys[:0]
@@ -312,6 +331,8 @@ func (a *AEU) releaseGroup(k groupKey, g *group) {
 
 // processGroups executes all grouped commands; this is the most time
 // consuming part of the loop.
+//
+//eris:hotpath
 func (a *AEU) processGroups() {
 	for _, k := range a.order {
 		g := a.groups[k]
@@ -354,10 +375,12 @@ func (a *AEU) processGroups() {
 // partitioning it into per-deadline sub-batches and dispatching each through
 // the uniform-deadline path. Only NoReply cross-source coalescing produces
 // such groups, so the sub-group allocation is off the steady-state path.
+//
+//eris:hotpath
 func (a *AEU) processMixed(k groupKey, g *group, p *Partition) {
-	subs := map[uint64]*group{}
+	subs := map[uint64]*group{} //eris:allowalloc mixed-deadline sub-batching happens only for NoReply cross-source coalescing, off the steady-state path
 	var order []uint64
-	sub := func(dl uint64) *group {
+	sub := func(dl uint64) *group { //eris:allowalloc see above: off the steady-state path
 		sg := subs[dl]
 		if sg == nil {
 			sg = &group{deadline: dl}
@@ -399,6 +422,8 @@ func (a *AEU) processMixed(k groupKey, g *group, p *Partition) {
 // splitValid partitions keys into in-range, pending and foreign sets using
 // the partition bounds, the pending transfer ranges and the ranges still
 // recovering from a lost balance command.
+//
+//eris:hotpath
 func (a *AEU) splitValid(p *Partition, keys []uint64, valid *[]uint64, deferredIdx *[]int, foreign *[]uint64) {
 	for i, key := range keys {
 		switch {
@@ -412,6 +437,7 @@ func (a *AEU) splitValid(p *Partition, keys []uint64, valid *[]uint64, deferredI
 	}
 }
 
+//eris:hotpath
 func (a *AEU) inPendingRange(key uint64) bool {
 	for _, r := range a.pendingRanges {
 		if key >= r.lo && key <= r.hi {
@@ -421,6 +447,7 @@ func (a *AEU) inPendingRange(key uint64) bool {
 	return false
 }
 
+//eris:hotpath
 func (a *AEU) inRecovering(obj routing.ObjectID, key uint64) bool {
 	for _, r := range a.recovering {
 		if r.obj == obj && key >= r.lo && key <= r.hi {
@@ -432,6 +459,8 @@ func (a *AEU) inRecovering(obj routing.ObjectID, key uint64) bool {
 
 // overlapsRecovering reports whether [lo, hi] intersects a range whose data
 // is still being repaired after a lost balance command.
+//
+//eris:hotpath
 func (a *AEU) overlapsRecovering(obj routing.ObjectID, lo, hi uint64) bool {
 	for _, r := range a.recovering {
 		if r.obj == obj && lo <= r.hi && hi >= r.lo {
@@ -441,6 +470,7 @@ func (a *AEU) overlapsRecovering(obj routing.ObjectID, lo, hi uint64) bool {
 	return false
 }
 
+//eris:hotpath
 func (a *AEU) processLookups(k groupKey, g *group, p *Partition) {
 	valid := a.scratch.valid[:0]
 	foreign := a.scratch.foreign[:0]
@@ -457,7 +487,7 @@ func (a *AEU) processLookups(k groupKey, g *group, p *Partition) {
 	if len(deferredIdx) > 0 {
 		// Deferred commands outlive the loop iteration: clone, never alias
 		// group batches or scratch.
-		keys := make([]uint64, len(deferredIdx))
+		keys := make([]uint64, len(deferredIdx)) //eris:allowalloc deferred commands outlive the iteration and must own their keys; deferral is a transfer-window edge case
 		for i, idx := range deferredIdx {
 			keys[i] = g.keys[idx]
 		}
@@ -472,12 +502,12 @@ func (a *AEU) processLookups(k groupKey, g *group, p *Partition) {
 	}
 
 	if cap(a.scratch.values) < len(valid) {
-		a.scratch.values = make([]uint64, len(valid))
-		a.scratch.found = make([]bool, len(valid))
+		a.scratch.values = make([]uint64, len(valid)) //eris:allowalloc amortized scratch growth, reused across iterations; pinned by AllocsPerRun benchmarks
+		a.scratch.found = make([]bool, len(valid))    //eris:allowalloc grown with values above
 	}
 	values := a.scratch.values[:len(valid)]
 	found := a.scratch.found[:len(valid)]
-	p.Tree.LookupBatch(a.Core, valid, values, found)
+	p.Tree.LookupBatch(a.Core, valid, values, found) //eris:allowalloc index kernel entry; node growth inside the tree is slab-amortized
 	p.accesses.Add(int64(len(valid)))
 	a.countOps(int64(len(valid)))
 
@@ -496,6 +526,8 @@ func (a *AEU) processLookups(k groupKey, g *group, p *Partition) {
 
 // processDeletes mirrors processLookups: split by validity, forward stale
 // keys, defer keys whose range is in transit, delete the rest.
+//
+//eris:hotpath
 func (a *AEU) processDeletes(k groupKey, g *group, p *Partition) {
 	valid := a.scratch.valid[:0]
 	foreign := a.scratch.foreign[:0]
@@ -509,7 +541,7 @@ func (a *AEU) processDeletes(k groupKey, g *group, p *Partition) {
 		a.forwards.Add(int64(len(foreign)))
 	}
 	if len(deferredIdx) > 0 {
-		keys := make([]uint64, len(deferredIdx))
+		keys := make([]uint64, len(deferredIdx)) //eris:allowalloc deferred commands outlive the iteration and must own their keys; deferral is a transfer-window edge case
 		for i, idx := range deferredIdx {
 			keys[i] = g.keys[idx]
 		}
@@ -522,7 +554,7 @@ func (a *AEU) processDeletes(k groupKey, g *group, p *Partition) {
 	if len(valid) == 0 {
 		return
 	}
-	p.Tree.DeleteBatch(a.Core, valid)
+	p.Tree.DeleteBatch(a.Core, valid) //eris:allowalloc index kernel entry; node reclamation inside the tree is slab-amortized
 	p.accesses.Add(int64(len(valid)))
 	a.countOps(int64(len(valid)))
 	var seq uint64
@@ -534,6 +566,7 @@ func (a *AEU) processDeletes(k groupKey, g *group, p *Partition) {
 	}
 }
 
+//eris:hotpath
 func (a *AEU) processUpserts(k groupKey, g *group, p *Partition) {
 	validKVs := a.scratch.validKVs[:0]
 	foreign := a.scratch.foreignKVs[:0]
@@ -566,7 +599,7 @@ func (a *AEU) processUpserts(k groupKey, g *group, p *Partition) {
 	if len(validKVs) == 0 {
 		return
 	}
-	p.Tree.UpsertBatch(a.Core, validKVs)
+	p.Tree.UpsertBatch(a.Core, validKVs) //eris:allowalloc index kernel entry; node growth inside the tree is slab-amortized
 	p.accesses.Add(int64(len(validKVs)))
 	a.countOps(int64(len(validKVs)))
 	var seq uint64
@@ -580,6 +613,8 @@ func (a *AEU) processUpserts(k groupKey, g *group, p *Partition) {
 
 // processScans executes all scan commands of one object with a single data
 // pass (scan sharing); isolation comes from the column's MVCC snapshot.
+//
+//eris:hotpath
 func (a *AEU) processScans(g *group, p *Partition) {
 	a.machine.AdvanceNS(a.Core, scanShareNSPerCmd*float64(len(g.scans)))
 	if p.Kind == routing.SizePartitioned {
@@ -595,11 +630,13 @@ func (a *AEU) processScans(g *group, p *Partition) {
 // the command (Keys = [lo, hi]) intersected with the predicate's own
 // bounds — the intersection keeps a bad peer's bounds from widening what a
 // zone map may accept wholesale.
+//
+//eris:hotpath
 func (a *AEU) processColumnScans(g *group, p *Partition) {
 	snapshot := p.Col.Snapshot()
 	if cap(a.scratch.scanAggs) < len(g.scans) {
-		a.scratch.scanAggs = make([]colstore.ScanAgg, len(g.scans))
-		a.scratch.scanSpecs = make([]colstore.ScanSpec, len(g.scans))
+		a.scratch.scanAggs = make([]colstore.ScanAgg, len(g.scans))   //eris:allowalloc amortized scratch growth, reused across iterations
+		a.scratch.scanSpecs = make([]colstore.ScanSpec, len(g.scans)) //eris:allowalloc grown with scanAggs above
 	}
 	aggs := a.scratch.scanAggs[:len(g.scans)]
 	specs := a.scratch.scanSpecs[:len(g.scans)]
@@ -635,12 +672,15 @@ func (a *AEU) processColumnScans(g *group, p *Partition) {
 // CountColScanBlocks records block outcomes of a column scan executed
 // outside the command loop (e.g. a generator scanning its own partition),
 // so the colscan.* counters reflect every pass.
+//
+//eris:hotpath
 func (a *AEU) CountColScanBlocks(scanned, pruned, fullHit int64) {
 	a.colBlocksScanned.Add(scanned)
 	a.colBlocksPruned.Add(pruned)
 	a.colBlocksFullHit.Add(fullHit)
 }
 
+//eris:hotpath
 func (a *AEU) processIndexScans(g *group, p *Partition) {
 	for _, c := range g.scans {
 		lo, hi := p.Lo, p.Hi
@@ -657,7 +697,7 @@ func (a *AEU) processIndexScans(g *group, p *Partition) {
 			// tuples are still in transit (or still being repaired after a
 			// lost balance command); answering now would silently miss
 			// them. Defer the scan until the data lands.
-			a.deferred = append(a.deferred, c.Clone())
+			a.deferred = append(a.deferred, c.Clone()) //eris:allowalloc deferred scan must own its key slice (retention contract); transfer-window edge case
 			a.deferredCnt.Add(1)
 			continue
 		}
@@ -666,7 +706,7 @@ func (a *AEU) processIndexScans(g *group, p *Partition) {
 			// them back as an intermediate result.
 			rows := a.scratch.replyKVs[:0]
 			if lo <= hi {
-				p.Tree.Scan(a.Core, lo, hi, func(key, value uint64) bool {
+				p.Tree.Scan(a.Core, lo, hi, func(key, value uint64) bool { //eris:allowalloc synchronous non-escaping visitor; index scan entry point
 					if c.Pred.Matches(value) {
 						rows = append(rows, prefixtree.KV{Key: key, Value: value})
 					}
@@ -683,7 +723,7 @@ func (a *AEU) processIndexScans(g *group, p *Partition) {
 		}
 		var matched, sum uint64
 		if lo <= hi {
-			p.Tree.Scan(a.Core, lo, hi, func(key, value uint64) bool {
+			p.Tree.Scan(a.Core, lo, hi, func(key, value uint64) bool { //eris:allowalloc synchronous non-escaping visitor; index scan entry point
 				if c.Pred.Matches(value) {
 					matched++
 					sum += value
@@ -712,6 +752,8 @@ func (a *AEU) processIndexScans(g *group, p *Partition) {
 
 // forwardGroup re-routes a whole group for an object this AEU no longer
 // holds.
+//
+//eris:hotpath
 func (a *AEU) forwardGroup(k groupKey, g *group) {
 	switch k.op {
 	case command.OpLookup:
@@ -755,6 +797,8 @@ func (a *AEU) forwardGroup(k groupKey, g *group) {
 // answered is the number of request keys (or, for scans, scan commands)
 // this reply settles — it can exceed len(kvs) for lookups that missed and
 // upsert/delete acks, which carry no payload.
+//
+//eris:hotpath
 func (a *AEU) reply(k groupKey, kvs []prefixtree.KV, answered int) {
 	if k.replyTo == ClientReply {
 		if a.onClientResult != nil {
@@ -793,6 +837,8 @@ func (a *AEU) replyErr(k groupKey, answered int, err error) {
 // handleResult surfaces routed results to the result callback; AEU-level
 // query processing (joins etc.) sits above the storage engine, so results
 // arriving here are for the engine client.
+//
+//eris:hotpath
 func (a *AEU) handleResult(c command.Command) {
 	if a.onClientResult != nil {
 		a.onClientResult(c.Tag, c.Source, c.KVs, len(c.KVs), nil)

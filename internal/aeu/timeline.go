@@ -22,6 +22,8 @@ func NewTimeline(spanSec, binSec float64) *Timeline {
 func (tl *Timeline) SetOrigin(originNS float64) { tl.originNS = originNS }
 
 // Record adds n completed operations at virtual time tNS.
+//
+//eris:hotpath
 func (tl *Timeline) Record(tNS float64, n int64) {
 	idx := int((tNS - tl.originNS) / tl.binNS)
 	if idx < 0 {

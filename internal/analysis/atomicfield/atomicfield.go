@@ -1,0 +1,177 @@
+// Package atomicfield flags struct fields that are accessed atomically in
+// one place and via plain reads or writes elsewhere — the bug class where a
+// counter is written with atomic.AddInt64 by one goroutine and read with a
+// bare load by another, which the race detector only catches if a test
+// happens to interleave the two.
+//
+// Two access styles count as atomic:
+//
+//   - &x.f passed to a sync/atomic package function (atomic.AddInt64(&x.f, 1))
+//   - a method call on a field whose type is one of the sync/atomic value
+//     types (x.f.Load(), x.f.Add(1))
+//
+// Everything else touching the same field is a plain access. For fields of
+// the atomic value types a "plain access" means copying or overwriting the
+// value itself (v := x.f); taking its address (&x.f) is allowed. For
+// ordinary fields it means any non-atomic read or write. Fields that are
+// arrays or slices of atomics are exempt: indexing the container is an
+// ordinary operation and the per-element methods are already atomic.
+// Suppress with //eris:allowplain <reason>.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"eris/internal/analysis"
+)
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "flags fields accessed both atomically and with plain reads/writes",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pkg := pass.Pkg
+	info := pkg.Info
+
+	// consumed records selector nodes that participate in an atomic access
+	// pattern so the plain-access walk skips them; addrOf records selectors
+	// whose address is taken anywhere.
+	consumed := map[*ast.SelectorExpr]bool{}
+	addrOf := map[*ast.SelectorExpr]bool{}
+	atomicUse := map[*types.Var][]token.Pos{}
+	plainUse := map[*types.Var][]token.Pos{}
+
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+						addrOf[sel] = true
+					}
+				}
+			case *ast.SelectorExpr:
+				// x.f.Load() or a method value like x.f.Load passed as a
+				// func: any method selection on an atomic-typed field.
+				if s, ok := info.Selections[n]; ok && s.Kind() == types.MethodVal && isAtomicType(s.Recv()) {
+					if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+						if field := fieldOf(info, sel); field != nil {
+							atomicUse[field] = append(atomicUse[field], sel.Pos())
+							consumed[sel] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				fun, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				// atomic.AddInt64(&x.f, 1) style: sync/atomic function
+				// taking the field's address.
+				if obj, ok := info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+					for _, arg := range n.Args {
+						un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+						if !ok || un.Op != token.AND {
+							continue
+						}
+						if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+							if field := fieldOf(info, sel); field != nil {
+								atomicUse[field] = append(atomicUse[field], sel.Pos())
+								consumed[sel] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || consumed[sel] {
+				return true
+			}
+			field := fieldOf(info, sel)
+			if field == nil {
+				return true
+			}
+			if isAtomicType(field.Type()) && addrOf[sel] {
+				return true // &x.f of an atomic value: pointer use, not a copy
+			}
+			plainUse[field] = append(plainUse[field], sel.Pos())
+			return true
+		})
+	}
+
+	for field, plains := range plainUse {
+		atomics := atomicUse[field]
+		if len(atomics) == 0 {
+			continue
+		}
+		example := pass.Fset.Position(atomics[0])
+		for _, pos := range plains {
+			pass.Reportf(pkg, pos,
+				"plain access to field %s.%s, which is accessed atomically (e.g. at %s:%d)",
+				fieldOwner(field), field.Name(), example.Filename, example.Line)
+		}
+	}
+	return nil
+}
+
+// fieldOf returns the struct field var sel denotes, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isAtomicType reports whether t (or its pointee) is one of the sync/atomic
+// value types. Containers of atomics deliberately do not count.
+func isAtomicType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOwner names the struct type declaring field, best-effort.
+func fieldOwner(field *types.Var) string {
+	if field.Pkg() == nil {
+		return "?"
+	}
+	scope := field.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return tn.Name()
+			}
+		}
+	}
+	return field.Pkg().Name()
+}

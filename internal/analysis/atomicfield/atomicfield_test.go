@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"eris/internal/analysis/analysistest"
+	"eris/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), atomicfield.Analyzer, "a")
+}

@@ -1,0 +1,43 @@
+// Fixture for the atomicfield analyzer: fields mixed between atomic and
+// plain access are flagged at the plain site; atomic-only, plain-only,
+// container-of-atomic, address-taking, and suppressed accesses are not.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	ops    int64
+	mixed  int64
+	clean  int64
+	val    atomic.Int64
+	shards [4]atomic.Int64
+}
+
+func atomicSide(c *counters) {
+	atomic.AddInt64(&c.ops, 1)
+	atomic.AddInt64(&c.mixed, 1)
+	c.val.Add(1)
+}
+
+func plainSide(c *counters) int64 {
+	n := c.mixed // want `plain access to field counters\.mixed, which is accessed atomically`
+	n += c.clean
+	n += c.shards[0].Load()
+	v := c.val // want `plain access to field counters\.val, which is accessed atomically`
+	_ = v
+	return n
+}
+
+// methodValue passes a bound method of an atomic field as a func: that is
+// an atomic use, not a plain copy.
+func methodValue(c *counters) func() int64 {
+	return c.val.Load
+}
+
+// addrIsFine takes the address of an atomic-typed field (pointer passing,
+// e.g. registering a CounterFunc); no copy of the value happens.
+func addrIsFine(c *counters) *atomic.Int64 { return &c.val }
+
+func suppressedRead(c *counters) int64 {
+	return c.ops //eris:allowplain shutdown-only snapshot; all writers have exited
+}

@@ -1,0 +1,144 @@
+// Package counterlit checks metric-name hygiene at registration sites. For
+// every call to a registration method (Counter, CounterFunc, Gauge,
+// GaugeFunc, Histogram) on a *Registry from a metrics package, when the
+// name argument is a compile-time constant it must:
+//
+//   - match the naming convention: two or more lowercase dotted segments
+//     ("server.accepted", "routing.drain.corrupt_frames")
+//   - not be registered from two different packages (full-name collision)
+//   - not share its first segment with constant names registered from a
+//     different package (prefix ownership: "balance.*" belongs to exactly
+//     one package)
+//
+// Dynamically built names (fmt.Sprintf("aeu.%d.", id) + "ops") are out of
+// static reach and skipped; constant concatenation ("routing." + "drains")
+// folds and is checked. Suppress with //eris:allowname <reason>.
+package counterlit
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"eris/internal/analysis"
+)
+
+// Analyzer is the counterlit analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:   "counterlit",
+	Doc:    "checks metric-name literals for convention and cross-package collisions",
+	Module: true,
+	Run:    run,
+}
+
+var namePattern = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+
+// registration is one constant-named metric registration site.
+type registration struct {
+	name string
+	pkg  *analysis.Package
+	pos  token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	var regs []registration
+	for _, pkg := range pass.All {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if !isRegistration(pkg.Info, call) {
+					return true
+				}
+				tv, ok := pkg.Info.Types[call.Args[0]]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					return true // dynamic name: out of static reach
+				}
+				name := constant.StringVal(tv.Value)
+				if !namePattern.MatchString(name) {
+					pass.Reportf(pkg, call.Args[0].Pos(),
+						"metric name %q does not match the pkg.name convention (lowercase dotted segments)", name)
+					return true
+				}
+				regs = append(regs, registration{name: name, pkg: pkg, pos: call.Args[0].Pos()})
+				return true
+			})
+		}
+	}
+
+	sort.Slice(regs, func(i, j int) bool { return regs[i].pos < regs[j].pos })
+
+	// Full-name collisions across packages.
+	byName := map[string][]registration{}
+	for _, r := range regs {
+		byName[r.name] = append(byName[r.name], r)
+	}
+	for name, sites := range byName {
+		if pkgsOf(sites) < 2 {
+			continue
+		}
+		for _, r := range sites {
+			pass.Reportf(r.pkg, r.pos, "metric name %q is registered from multiple packages", name)
+		}
+	}
+
+	// Prefix ownership: the first segment is claimed by one package.
+	owner := map[string]registration{}
+	for _, r := range regs {
+		prefix, _, _ := strings.Cut(r.name, ".")
+		first, claimed := owner[prefix]
+		if !claimed {
+			owner[prefix] = r
+			continue
+		}
+		if first.pkg != r.pkg {
+			pass.Reportf(r.pkg, r.pos,
+				"metric prefix %q is owned by package %s (e.g. %q) but registered here from %s",
+				prefix, first.pkg.Path, first.name, r.pkg.Path)
+		}
+	}
+	return nil
+}
+
+func pkgsOf(sites []registration) int {
+	seen := map[*analysis.Package]bool{}
+	for _, r := range sites {
+		seen[r.pkg] = true
+	}
+	return len(seen)
+}
+
+// isRegistration reports whether call is Counter/CounterFunc/Gauge/
+// GaugeFunc/Histogram on a *Registry declared in a metrics package (last
+// import path segment "metrics", so fixtures qualify too).
+func isRegistration(info *types.Info, call *ast.CallExpr) bool {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch fun.Sel.Name {
+	case "Counter", "CounterFunc", "Gauge", "GaugeFunc", "Histogram":
+	default:
+		return false
+	}
+	sel, ok := info.Selections[fun]
+	if !ok || sel.Kind() != types.MethodVal {
+		return false
+	}
+	t := sel.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "metrics" || strings.HasSuffix(path, "/metrics")
+}

@@ -1,0 +1,12 @@
+package counterlit_test
+
+import (
+	"testing"
+
+	"eris/internal/analysis/analysistest"
+	"eris/internal/analysis/counterlit"
+)
+
+func TestCounterLit(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), counterlit.Analyzer, "metrics", "app", "app2")
+}

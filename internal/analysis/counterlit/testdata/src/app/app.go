@@ -1,0 +1,20 @@
+// Fixture for the counterlit analyzer: convention violations and
+// cross-package collisions on constant metric names. This package loads
+// first, so it owns the "app" and "shared" prefixes.
+package app
+
+import "metrics"
+
+const prefix = "app."
+
+func register(r *metrics.Registry) {
+	r.Counter("app.requests")
+	r.Counter(prefix + "folded")
+	r.Counter("BadName")  // want `metric name "BadName" does not match the pkg\.name convention`
+	r.Counter("app.")     // want `metric name "app\." does not match the pkg\.name convention`
+	r.Gauge("shared.val") // want `metric name "shared\.val" is registered from multiple packages`
+	r.NotARegistration("Whatever.Goes")
+	r.Counter(dynamic() + ".ops")
+}
+
+func dynamic() string { return "aeu" }

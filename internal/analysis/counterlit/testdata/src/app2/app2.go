@@ -1,0 +1,11 @@
+// Second fixture consumer: collides with app's names and prefixes.
+package app2
+
+import "metrics"
+
+func register(r *metrics.Registry) {
+	r.Counter("shared.val") // want `metric name "shared\.val" is registered from multiple packages` `metric prefix "shared" is owned by package app`
+	r.Counter("app.other")  // want `metric prefix "app" is owned by package app \(e\.g\. "app\.requests"\) but registered here from app2`
+	r.Counter("app2.own")
+	r.Counter("Legacy.Dashboard.Name") //eris:allowname historical name the Grafana boards already key on
+}

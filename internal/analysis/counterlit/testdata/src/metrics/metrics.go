@@ -1,0 +1,13 @@
+// Fixture metrics package: the analyzer recognizes registration methods by
+// name on a *Registry declared in a package whose import path ends in
+// "metrics".
+package metrics
+
+type Registry struct{}
+
+type Counter struct{}
+
+func (r *Registry) Counter(name string) *Counter       { return &Counter{} }
+func (r *Registry) Gauge(name string) *Counter         { return &Counter{} }
+func (r *Registry) Histogram(name string) *Counter     { return &Counter{} }
+func (r *Registry) NotARegistration(name string) error { return nil }

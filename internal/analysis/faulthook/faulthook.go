@@ -1,0 +1,183 @@
+// Package faulthook keeps the fault-injection surface honest:
+//
+//  1. Every exported faults.Kind constant must be armed by at least one
+//     test somewhere in the module — a kind nobody injects is dead chaos
+//     coverage. The check is syntactic over _test.go files (which are
+//     parsed but not type-checked): a kind counts as armed when its name
+//     appears as an identifier in any test file, which covers both
+//     faults.DropAck literals and in-package DropAck references. Kinds
+//     armed only dynamically (for _, k := range faults.Kinds()) are still
+//     counted, because such loops live in test files that also name kinds.
+//  2. Every exported pointer-receiver method on faults.Injector that is
+//     called from outside the faults package must begin with a
+//     nil-receiver guard (if i == nil { ... }): production code runs with
+//     a nil injector, so an unguarded hook is a latent panic at every
+//     injection site.
+//
+// Suppress with //eris:allowfault <reason>.
+package faulthook
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"eris/internal/analysis"
+)
+
+// Analyzer is the faulthook analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:   "faulthook",
+	Doc:    "checks fault kinds are test-armed and injection hooks are nil-safe",
+	Module: true,
+	Run:    run,
+}
+
+func run(pass *analysis.Pass) error {
+	faults := findFaultsPackage(pass.All)
+	if faults == nil {
+		return nil // nothing to check in this module view
+	}
+
+	checkKindsArmed(pass, faults)
+	checkNilSafety(pass, faults)
+	return nil
+}
+
+// findFaultsPackage locates the package whose import path ends in "faults"
+// and which declares a named type Kind.
+func findFaultsPackage(all []*analysis.Package) *analysis.Package {
+	for _, pkg := range all {
+		if pkg.Path != "faults" && !strings.HasSuffix(pkg.Path, "/faults") {
+			continue
+		}
+		if tn, ok := pkg.Types.Scope().Lookup("Kind").(*types.TypeName); ok && tn != nil {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// checkKindsArmed reports exported Kind constants never named in any test
+// file of the module.
+func checkKindsArmed(pass *analysis.Pass, faults *analysis.Package) {
+	kindType := faults.Types.Scope().Lookup("Kind").Type()
+
+	// Names mentioned in any _test.go file, module-wide.
+	mentioned := map[string]bool{}
+	for _, pkg := range pass.All {
+		for _, file := range pkg.TestFiles {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					mentioned[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+
+	scope := faults.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !types.Identical(c.Type(), kindType) {
+			continue
+		}
+		if !mentioned[name] {
+			pass.Reportf(faults, c.Pos(),
+				"fault kind %s is never armed by any test in the module", name)
+		}
+	}
+}
+
+// checkNilSafety reports exported (*Injector) methods that are called from
+// outside the faults package but do not start with a nil-receiver guard.
+func checkNilSafety(pass *analysis.Pass, faults *analysis.Package) {
+	// Externally called method names.
+	calledFrom := map[string]token.Pos{}
+	for _, pkg := range pass.All {
+		if pkg == faults {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := analysis.StaticCallee(pkg.Info, call)
+				if fn == nil || !isInjectorMethod(fn, faults.Path) {
+					return true
+				}
+				if _, seen := calledFrom[fn.Name()]; !seen {
+					calledFrom[fn.Name()] = call.Pos()
+				}
+				return true
+			})
+		}
+	}
+
+	for _, file := range faults.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			fn, ok := faults.Info.Defs[fd.Name].(*types.Func)
+			if !ok || !isInjectorMethod(fn, faults.Path) {
+				continue
+			}
+			callPos, external := calledFrom[fd.Name.Name]
+			if !external {
+				continue
+			}
+			if hasNilGuard(fd) {
+				continue
+			}
+			pass.Reportf(faults, fd.Name.Pos(),
+				"(*Injector).%s is called outside package faults (e.g. at %s) but does not begin with a nil-receiver guard",
+				fd.Name.Name, pass.Fset.Position(callPos))
+		}
+	}
+}
+
+// isInjectorMethod reports whether fn is a method on *Injector (or
+// Injector) of the faults package.
+func isInjectorMethod(fn *types.Func, faultsPath string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Injector" && named.Obj().Pkg().Path() == faultsPath
+}
+
+// hasNilGuard reports whether fd's body begins with `if <recv> == nil`.
+func hasNilGuard(fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) == 0 || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return false
+	}
+	recv := fd.Recv.List[0].Names[0].Name
+	ifStmt, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	return isIdent(cond.X, recv) && isIdent(cond.Y, "nil") ||
+		isIdent(cond.X, "nil") && isIdent(cond.Y, recv)
+}
+
+func isIdent(expr ast.Expr, name string) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,12 @@
+package faulthook_test
+
+import (
+	"testing"
+
+	"eris/internal/analysis/analysistest"
+	"eris/internal/analysis/faulthook"
+)
+
+func TestFaultHook(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), faulthook.Analyzer, "faults", "app")
+}

@@ -1,0 +1,9 @@
+// Fixture consumer: the external call sites that make Should and Unguarded
+// subject to the nil-guard rule.
+package app
+
+import "faults"
+
+func hook(i *faults.Injector) bool {
+	return i.Should(faults.DropThing) || i.Unguarded(faults.DropThing)
+}

@@ -1,0 +1,13 @@
+package faults
+
+import "testing"
+
+// TestArm names DropThing, which is what counts as arming it; LostThing is
+// deliberately never mentioned by any test file.
+func TestArm(t *testing.T) {
+	var i Injector
+	i.Arm(DropThing)
+	if !i.armed[DropThing] {
+		t.Fatal("not armed")
+	}
+}

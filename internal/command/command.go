@@ -136,6 +136,8 @@ type Command struct {
 const headerBytes = 1 + 4 + 4 + 4 + 8 + 8 + 4 // op, object, source, replyTo, tag, deadline, payload len
 
 // EncodedSize returns the exact number of bytes AppendEncode will add.
+//
+//eris:hotpath
 func (c *Command) EncodedSize() int {
 	return headerBytes + c.payloadSize()
 }
@@ -161,6 +163,7 @@ func MaxUpsertKVs(limit int) int {
 	return n
 }
 
+//eris:hotpath
 func (c *Command) payloadSize() int {
 	switch c.Op {
 	case OpLookup, OpDelete:
@@ -183,6 +186,8 @@ func (c *Command) payloadSize() int {
 }
 
 // AppendEncode appends the wire form of the command to buf.
+//
+//eris:hotpath
 func (c *Command) AppendEncode(buf []byte) []byte {
 	buf = append(buf, byte(c.Op))
 	buf = binary.LittleEndian.AppendUint32(buf, c.Object)
@@ -215,7 +220,7 @@ func (c *Command) AppendEncode(buf []byte) []byte {
 	case OpBalance:
 		b := c.Balance
 		if b == nil {
-			b = &Balance{}
+			b = &Balance{} //eris:allowalloc balance is a control-plane op; placeholder for a nil payload only
 		}
 		buf = binary.LittleEndian.AppendUint64(buf, b.Epoch)
 		buf = binary.LittleEndian.AppendUint64(buf, b.NewLo)
@@ -230,7 +235,7 @@ func (c *Command) AppendEncode(buf []byte) []byte {
 	case OpFetch:
 		f := c.Fetch
 		if f == nil {
-			f = &Fetch{}
+			f = &Fetch{} //eris:allowalloc fetch is a control-plane op; placeholder for a nil payload only
 		}
 		buf = binary.LittleEndian.AppendUint32(buf, f.From)
 		buf = binary.LittleEndian.AppendUint64(buf, f.Lo)
@@ -246,6 +251,7 @@ var (
 	ErrBadOp     = errors.New("command: invalid operation")
 )
 
+//eris:hotpath
 func decodeCount(p []byte, elem int) (int, []byte, error) {
 	if len(p) < 4 {
 		return 0, nil, ErrTruncated

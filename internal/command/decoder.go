@@ -2,7 +2,6 @@ package command
 
 import (
 	"encoding/binary"
-	"fmt"
 	"unsafe"
 
 	"eris/internal/colstore"
@@ -46,6 +45,8 @@ type Decoder struct {
 // DecodeInto parses one command from the front of buf into c, returning
 // the number of bytes consumed. See the Decoder documentation for the
 // lifetime of the decoded Keys/KVs views.
+//
+//eris:hotpath
 func (d *Decoder) DecodeInto(c *Command, buf []byte) (int, error) {
 	return decodeInto(c, buf, d)
 }
@@ -62,13 +63,18 @@ func Decode(buf []byte) (Command, int, error) {
 
 // decodeInto is the shared decode body; a nil decoder selects the
 // always-copy mode of Decode.
+//
+//eris:hotpath
 func decodeInto(c *Command, buf []byte, d *Decoder) (int, error) {
 	if len(buf) < headerBytes {
 		return 0, ErrTruncated
 	}
 	op := Op(buf[0])
 	if op == OpInvalid || op >= numOps {
-		return 0, fmt.Errorf("%w: %d", ErrBadOp, buf[0])
+		// Sentinel only: a wrapped fmt.Errorf here would allocate per bad
+		// frame on the decode hot path; the offending byte is recoverable
+		// from the buffer the caller still holds.
+		return 0, ErrBadOp
 	}
 	*c = Command{
 		Op:       op,
@@ -114,7 +120,7 @@ func decodeInto(c *Command, buf []byte, d *Decoder) (int, error) {
 		if len(p) < 8+8+8+4 {
 			return 0, ErrTruncated
 		}
-		b := &Balance{
+		b := &Balance{ //eris:allowalloc balance decode is control-plane traffic, not the data path
 			Epoch: binary.LittleEndian.Uint64(p[0:]),
 			NewLo: binary.LittleEndian.Uint64(p[8:]),
 			NewHi: binary.LittleEndian.Uint64(p[16:]),
@@ -125,7 +131,7 @@ func decodeInto(c *Command, buf []byte, d *Decoder) (int, error) {
 			return 0, ErrTruncated
 		}
 		if n > 0 {
-			b.Fetches = make([]Fetch, n)
+			b.Fetches = make([]Fetch, n) //eris:allowalloc balance decode is control-plane traffic, not the data path
 			for i := range b.Fetches {
 				o := i * 28
 				b.Fetches[i] = Fetch{
@@ -141,7 +147,7 @@ func decodeInto(c *Command, buf []byte, d *Decoder) (int, error) {
 		if len(p) < 28 {
 			return 0, ErrTruncated
 		}
-		c.Fetch = &Fetch{
+		c.Fetch = &Fetch{ //eris:allowalloc fetch decode is control-plane traffic, not the data path
 			From:   binary.LittleEndian.Uint32(p[0:]),
 			Lo:     binary.LittleEndian.Uint64(p[4:]),
 			Hi:     binary.LittleEndian.Uint64(p[12:]),
@@ -155,6 +161,8 @@ func decodeInto(c *Command, buf []byte, d *Decoder) (int, error) {
 // With a decoder, the result aliases p when the host byte order and the
 // payload alignment allow it and the decoder's key scratch otherwise; with
 // a nil decoder it is freshly allocated.
+//
+//eris:hotpath
 func viewKeys(d *Decoder, p []byte, n int) []uint64 {
 	if n == 0 {
 		return nil
@@ -165,11 +173,11 @@ func viewKeys(d *Decoder, p []byte, n int) []uint64 {
 	var dst []uint64
 	if d != nil {
 		if cap(d.keys) < n {
-			d.keys = make([]uint64, n)
+			d.keys = make([]uint64, n) //eris:allowalloc decoder scratch growth amortized across frames
 		}
 		dst = d.keys[:n]
 	} else {
-		dst = make([]uint64, n)
+		dst = make([]uint64, n) //eris:allowalloc copy fallback only when the caller has no Decoder; the aligned fast path is zero-copy
 	}
 	for i := range dst {
 		dst[i] = binary.LittleEndian.Uint64(p[8*i:])
@@ -178,6 +186,8 @@ func viewKeys(d *Decoder, p []byte, n int) []uint64 {
 }
 
 // viewKVs is viewKeys for key/value payloads.
+//
+//eris:hotpath
 func viewKVs(d *Decoder, p []byte, n int) []prefixtree.KV {
 	if n == 0 {
 		return nil
@@ -188,11 +198,11 @@ func viewKVs(d *Decoder, p []byte, n int) []prefixtree.KV {
 	var dst []prefixtree.KV
 	if d != nil {
 		if cap(d.kvs) < n {
-			d.kvs = make([]prefixtree.KV, n)
+			d.kvs = make([]prefixtree.KV, n) //eris:allowalloc decoder scratch growth amortized across frames
 		}
 		dst = d.kvs[:n]
 	} else {
-		dst = make([]prefixtree.KV, n)
+		dst = make([]prefixtree.KV, n) //eris:allowalloc copy fallback only when the caller has no Decoder; the aligned fast path is zero-copy
 	}
 	for i := range dst {
 		dst[i].Key = binary.LittleEndian.Uint64(p[16*i:])

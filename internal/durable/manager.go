@@ -445,7 +445,7 @@ func (m *Manager) prune(n uint64, data *CheckpointData) {
 // publishedStamp returns one AEU's image stamp in the last checkpoint
 // published this session (0 before one publishes).
 func (m *Manager) publishedStamp(aeu int) uint64 {
-	m.mu.Lock()
+	m.mu.Lock() //eris:allowblock bounded map read of checkpoint bookkeeping; no I/O under the manager lock
 	defer m.mu.Unlock()
 	return m.pubStamps[aeu]
 }

@@ -139,6 +139,8 @@ func (l *Log) PublishedStamp() uint64 { return l.mgr.publishedStamp(l.id) }
 
 // open returns the segment for the current generation, growing a frame of
 // payload length n at its end; the returned slice is the payload area.
+//
+//eris:hotpath
 func (l *Log) frame(n int) (*segment, []byte) {
 	s := l.cur
 	if s == nil || s.gen != l.gen {
@@ -151,7 +153,7 @@ func (l *Log) frame(n int) (*segment, []byte) {
 			s.data = s.data[:0]
 			s.last, s.records = 0, 0
 		} else {
-			s = &segment{}
+			s = &segment{} //eris:allowalloc freelist-miss fallback; segments recycle through l.free after the first checkpoints
 		}
 		s.gen = l.gen
 		l.cur = s
@@ -159,7 +161,7 @@ func (l *Log) frame(n int) (*segment, []byte) {
 	off := len(s.data)
 	need := off + frameHeader + n
 	if cap(s.data) < need {
-		grown := make([]byte, off, need*2)
+		grown := make([]byte, off, need*2) //eris:allowalloc segment growth doubles capacity; amortized
 		copy(grown, s.data)
 		s.data = grown
 	}
@@ -168,6 +170,8 @@ func (l *Log) frame(n int) (*segment, []byte) {
 }
 
 // sealFrame fills the header of a frame whose payload was just encoded.
+//
+//eris:hotpath
 func sealFrame(frame []byte) {
 	payload := frame[frameHeader:]
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
@@ -176,9 +180,11 @@ func sealFrame(frame []byte) {
 
 // append encodes one record and signals the writer; it returns the
 // record's sequence number. kvLen is the kind-specific body length.
+//
+//eris:hotpath
 func (l *Log) appendRecord(kind byte, obj uint32, body int, enc func(b []byte)) uint64 {
 	seq := l.mgr.seq.Add(1)
-	l.mu.Lock()
+	l.mu.Lock() //eris:allowblock bounded queue-swap critical section; the writer goroutine does all I/O outside it
 	if l.closed || l.crashed {
 		l.mu.Unlock()
 		return seq
@@ -206,8 +212,10 @@ func (l *Log) appendRecord(kind byte, obj uint32, body int, enc func(b []byte)) 
 }
 
 // AppendUpsert logs an applied upsert batch.
+//
+//eris:hotpath
 func (l *Log) AppendUpsert(obj uint32, kvs []prefixtree.KV) uint64 {
-	return l.appendRecord(recUpsert, obj, 4+16*len(kvs), func(b []byte) {
+	return l.appendRecord(recUpsert, obj, 4+16*len(kvs), func(b []byte) { //eris:allowalloc non-escaping encoder closure; appendRecord invokes it synchronously before returning
 		binary.LittleEndian.PutUint32(b[0:4], uint32(len(kvs)))
 		off := 4
 		for _, kv := range kvs {
@@ -219,8 +227,10 @@ func (l *Log) AppendUpsert(obj uint32, kvs []prefixtree.KV) uint64 {
 }
 
 // AppendDelete logs an applied delete batch.
+//
+//eris:hotpath
 func (l *Log) AppendDelete(obj uint32, keys []uint64) uint64 {
-	return l.appendRecord(recDelete, obj, 4+8*len(keys), func(b []byte) {
+	return l.appendRecord(recDelete, obj, 4+8*len(keys), func(b []byte) { //eris:allowalloc non-escaping encoder closure; appendRecord invokes it synchronously before returning
 		binary.LittleEndian.PutUint32(b[0:4], uint32(len(keys)))
 		off := 4
 		for _, k := range keys {
@@ -232,8 +242,10 @@ func (l *Log) AppendDelete(obj uint32, keys []uint64) uint64 {
 
 // AppendHandoff logs the extraction of [lo, hi] for a transfer to target;
 // the returned sequence number is the transfer id the link record carries.
+//
+//eris:hotpath
 func (l *Log) AppendHandoff(obj uint32, lo, hi uint64, target uint32) uint64 {
-	return l.appendRecord(recHandoff, obj, 20, func(b []byte) {
+	return l.appendRecord(recHandoff, obj, 20, func(b []byte) { //eris:allowalloc non-escaping encoder closure; appendRecord invokes it synchronously before returning
 		binary.LittleEndian.PutUint64(b[0:8], lo)
 		binary.LittleEndian.PutUint64(b[8:16], hi)
 		binary.LittleEndian.PutUint32(b[16:20], target)
@@ -241,8 +253,10 @@ func (l *Log) AppendHandoff(obj uint32, lo, hi uint64, target uint32) uint64 {
 }
 
 // AppendLink logs a linked transfer payload for [lo, hi] under xid.
+//
+//eris:hotpath
 func (l *Log) AppendLink(obj uint32, lo, hi, xid uint64, kvs []prefixtree.KV) uint64 {
-	return l.appendRecord(recLink, obj, 28+16*len(kvs), func(b []byte) {
+	return l.appendRecord(recLink, obj, 28+16*len(kvs), func(b []byte) { //eris:allowalloc non-escaping encoder closure; appendRecord invokes it synchronously before returning
 		binary.LittleEndian.PutUint64(b[0:8], lo)
 		binary.LittleEndian.PutUint64(b[8:16], hi)
 		binary.LittleEndian.PutUint64(b[16:24], xid)
@@ -262,7 +276,7 @@ func (l *Log) AppendLink(obj uint32, lo, hi, xid uint64, kvs []prefixtree.KV) ui
 // stamp — the checkpoint's replay cut. It returns the stamp (last appended
 // sequence number) and the sealed generation.
 func (l *Log) Rotate() (stamp uint64, gen int) {
-	l.mu.Lock()
+	l.mu.Lock() //eris:allowblock bounded generation-seal critical section at the checkpoint boundary; no I/O under the lock
 	stamp, gen = l.lastSeq, l.gen
 	if l.cur != nil {
 		l.queue = append(l.queue, l.cur)
@@ -280,7 +294,7 @@ func (l *Log) Rotate() (stamp uint64, gen int) {
 // Flush blocks until every record appended before the call is covered by
 // an fsync (or the timeout expires).
 func (l *Log) Flush(timeout time.Duration) error {
-	l.mu.Lock()
+	l.mu.Lock() //eris:allowblock Flush runs off the steady-state loop: AEUs call it once at shutdown (flushDurableAcks)
 	want := l.lastSeq
 	l.mu.Unlock()
 	select {
@@ -289,7 +303,7 @@ func (l *Log) Flush(timeout time.Duration) error {
 	}
 	deadline := time.Now().Add(timeout)
 	for l.durable.Load() < want {
-		l.mu.Lock()
+		l.mu.Lock() //eris:allowblock Flush runs off the steady-state loop: AEUs call it once at shutdown (flushDurableAcks)
 		dead := l.crashed || l.closed
 		l.mu.Unlock()
 		if dead {
@@ -298,7 +312,7 @@ func (l *Log) Flush(timeout time.Duration) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("durable: log %d flush timed out at seq %d < %d", l.id, l.durable.Load(), want)
 		}
-		time.Sleep(100 * time.Microsecond)
+		time.Sleep(100 * time.Microsecond) //eris:allowblock Flush runs off the steady-state loop: AEUs call it once at shutdown (flushDurableAcks)
 	}
 	return nil
 }

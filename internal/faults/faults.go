@@ -167,8 +167,12 @@ func (i *Injector) Seed() int64 {
 }
 
 // Arm installs (or replaces) the rule for one fault kind, resetting its
-// decision state.
+// decision state. Arming a nil injector is a no-op, matching the nil-safe
+// check-side methods: callers never need to guard.
 func (i *Injector) Arm(k Kind, r Rule) {
+	if i == nil {
+		return
+	}
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.rules[k] = &armed{
@@ -179,6 +183,9 @@ func (i *Injector) Arm(k Kind, r Rule) {
 
 // Disarm removes the rule for one fault kind; its injected count remains.
 func (i *Injector) Disarm(k Kind) {
+	if i == nil {
+		return
+	}
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.rules[k] = nil
@@ -186,6 +193,9 @@ func (i *Injector) Disarm(k Kind) {
 
 // DisarmAll removes every rule.
 func (i *Injector) DisarmAll() {
+	if i == nil {
+		return
+	}
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	for k := range i.rules {
@@ -196,12 +206,14 @@ func (i *Injector) DisarmAll() {
 // Should reports whether the current eligible event of kind k fails. It is
 // nil-safe and consumes one event of the kind's counter when a rule is
 // armed; callers place it exactly at the point where the fault manifests.
+//
+//eris:hotpath
 func (i *Injector) Should(k Kind) bool {
 	if i == nil {
 		return false
 	}
 	i.checked[k].Add(1)
-	i.mu.Lock()
+	i.mu.Lock() //eris:allowblock injector is nil in production; lock contention exists only under test fault schedules
 	a := i.rules[k]
 	if a == nil {
 		i.mu.Unlock()
@@ -257,6 +269,9 @@ func (i *Injector) Checked(k Kind) int64 {
 // faults.injected.<kind> and hook traffic as faults.checked.<kind>, so
 // every injected failure is visible in the engine's metrics snapshot.
 func (i *Injector) RegisterMetrics(reg *metrics.Registry) {
+	if i == nil {
+		return
+	}
 	for k := Kind(0); k < numKinds; k++ {
 		k := k
 		reg.CounterFunc("faults.injected."+k.String(), i.injected[k].Load)

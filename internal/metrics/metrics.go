@@ -25,24 +25,36 @@ import (
 type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
+//
+//eris:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n must be non-negative for the delta model to hold).
+//
+//eris:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Load returns the current count.
+//
+//eris:hotpath
 func (c *Counter) Load() int64 { return c.v.Load() }
 
 // Gauge is an instantaneous level (bytes in use, queue depth).
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores the current level.
+//
+//eris:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add adjusts the level by n.
+//
+//eris:hotpath
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Load returns the current level.
+//
+//eris:hotpath
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
 // Histogram is a fixed-bucket latency/size distribution. Bucket i counts
@@ -55,6 +67,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//eris:hotpath
 func (h *Histogram) Observe(v int64) {
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {

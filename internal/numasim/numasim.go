@@ -62,6 +62,8 @@ func (c Config) withDefaults() Config {
 
 // psPerByteFactor converts GB/s into picoseconds per byte:
 // 1 GB/s = 1e9 bytes / 1e12 ps, so ps/byte = 1000 / GBs.
+//
+//eris:hotpath
 func psPerByte(gbs float64) float64 { return 1000.0 / gbs }
 
 const psPerNS = 1000
@@ -112,6 +114,8 @@ func New(topo *topology.Topology, cfg Config) (*Machine, error) {
 }
 
 // Topology returns the machine's topology.
+//
+//eris:hotpath
 func (m *Machine) Topology() *topology.Topology { return m.topo }
 
 // RegisterMetrics publishes the machine's byte counters on reg: cumulative
@@ -166,6 +170,8 @@ func (m *Machine) Alloc(size int64) uint64 {
 }
 
 // AdvanceNS charges ns nanoseconds of pure compute time to core.
+//
+//eris:hotpath
 func (m *Machine) AdvanceNS(core topology.CoreID, ns float64) {
 	if ns > 0 {
 		m.cores[core].clock.Add(int64(ns * psPerNS))
@@ -173,14 +179,20 @@ func (m *Machine) AdvanceNS(core topology.CoreID, ns float64) {
 }
 
 // CountOps adds n completed operations to core's throughput counter.
+//
+//eris:hotpath
 func (m *Machine) CountOps(core topology.CoreID, n int64) {
 	m.cores[core].ops.Add(n)
 }
 
 // Clock returns core's virtual time in picoseconds.
+//
+//eris:hotpath
 func (m *Machine) Clock(core topology.CoreID) int64 { return m.cores[core].clock.Load() }
 
 // ClockNS returns core's virtual time in nanoseconds.
+//
+//eris:hotpath
 func (m *Machine) ClockNS(core topology.CoreID) float64 {
 	return float64(m.Clock(core)) / psPerNS
 }
@@ -188,6 +200,8 @@ func (m *Machine) ClockNS(core topology.CoreID) float64 {
 // MinClock returns the minimum virtual time over all cores in [first,last).
 // The engine uses it as a soft barrier to bound virtual-time skew between
 // workers.
+//
+//eris:hotpath
 func (m *Machine) MinClock(first, last topology.CoreID) int64 {
 	min := int64(math.MaxInt64)
 	for c := first; c < last; c++ {
@@ -223,6 +237,8 @@ func (m *Machine) SyncClockTo(core topology.CoreID, ps int64) {
 
 // chargeRoute accounts bytes on every link between src and home and on the
 // home node's memory controller (when mc is true).
+//
+//eris:hotpath
 func (m *Machine) chargeRoute(src, home topology.NodeID, bytes int64, mc bool) {
 	if src == home {
 		m.routeHit[src].Add(bytes)
@@ -240,16 +256,21 @@ func (m *Machine) chargeRoute(src, home topology.NodeID, bytes int64, mc bool) {
 // synthetic address addr whose data lives on home. overlap is the number of
 // independent accesses the caller has batched together (1 for a dependent
 // pointer chase); latency is divided by min(overlap, MLP).
+//
+//eris:hotpath
 func (m *Machine) Read(core topology.CoreID, home topology.NodeID, addr uint64, bytes int64, overlap int) {
 	m.access(core, home, addr, bytes, overlap, false)
 }
 
 // Write charges core with one latency-sensitive write (read-for-ownership
 // plus store) of `bytes` at addr homed on home.
+//
+//eris:hotpath
 func (m *Machine) Write(core topology.CoreID, home topology.NodeID, addr uint64, bytes int64, overlap int) {
 	m.access(core, home, addr, bytes, overlap, true)
 }
 
+//eris:hotpath
 func (m *Machine) access(core topology.CoreID, home topology.NodeID, addr uint64, bytes int64, overlap int, write bool) {
 	src := m.topo.NodeOfCore(core)
 	if overlap < 1 {
@@ -274,6 +295,8 @@ func (m *Machine) access(core topology.CoreID, home topology.NodeID, addr uint64
 
 // cachedAccessPS runs the access through the LLC simulator line by line and
 // returns the virtual cost in picoseconds.
+//
+//eris:hotpath
 func (m *Machine) cachedAccessPS(src, home topology.NodeID, addr uint64, bytes int64, write bool) float64 {
 	var ps float64
 	lb := m.cfg.LineBytes
@@ -311,6 +334,8 @@ func (m *Machine) cachedAccessPS(src, home topology.NodeID, addr uint64, bytes i
 // `bytes` from home (a scan or a bulk partition copy). The cost is pure
 // bandwidth at the calibrated pair rate; link and memory-controller bytes
 // are accounted for the roofline.
+//
+//eris:hotpath
 func (m *Machine) Stream(core topology.CoreID, home topology.NodeID, bytes int64) {
 	src := m.topo.NodeOfCore(core)
 	cost := m.topo.Cost(src, home)
@@ -321,6 +346,8 @@ func (m *Machine) Stream(core topology.CoreID, home topology.NodeID, bytes int64
 // StreamBetween charges a bulk copy read from srcHome and written to
 // dstHome, driven by core (a cross-node partition transfer). Bytes traverse
 // the route twice conceptually (read + write) but we account each leg once.
+//
+//eris:hotpath
 func (m *Machine) StreamBetween(core topology.CoreID, srcHome, dstHome topology.NodeID, bytes int64) {
 	src := m.topo.NodeOfCore(core)
 	read := m.topo.Cost(src, srcHome)
@@ -334,6 +361,8 @@ func (m *Machine) StreamBetween(core topology.CoreID, srcHome, dstHome topology.
 
 // RemoteLatencyNS exposes the calibrated pair latency for callers that need
 // to model protocol round trips (e.g. the routing layer's flush handshake).
+//
+//eris:hotpath
 func (m *Machine) RemoteLatencyNS(core topology.CoreID, home topology.NodeID) float64 {
 	return m.topo.Cost(m.topo.NodeOfCore(core), home).LatencyNS
 }

@@ -309,7 +309,7 @@ func homeOfSource(src nodeSource) topology.NodeID {
 	if s.homeKnown {
 		return s.home
 	}
-	s.mu.Lock()
+	s.mu.Lock() //eris:allowblock bounded first-slab peek; taken once per rebuild, not per tuple
 	defer s.mu.Unlock()
 	if s.innerLen > 0 {
 		return s.inner[0].block.Home

@@ -22,6 +22,7 @@ const (
 	descWriterMask = uint64(1)<<31 - 1
 )
 
+//eris:hotpath
 func descOffset(d uint64) uint64 { return (d >> 31) & (1<<32 - 1) }
 
 // Backoff tuning for writers blocked on a full or swapping buffer: after
@@ -90,6 +91,8 @@ func (in *Inbox) Capacity() int { return len(in.bufs[0]) }
 // wait spins, which the caller charges as virtual wait time (backpressure:
 // a producer blocked on a full remote buffer burns real time on real
 // hardware too).
+//
+//eris:hotpath
 func (in *Inbox) Append(data []byte) (int, int) {
 	size := uint64(len(data))
 	if size == 0 {
@@ -143,8 +146,9 @@ func (in *Inbox) Append(data []byte) (int, int) {
 	}
 }
 
+//eris:hotpath
 func (in *Inbox) appendOverflow(data []byte) {
-	in.overflowMu.Lock()
+	in.overflowMu.Lock() //eris:allowblock overflow spill is already off the CAS fast path; bounded append under the lock
 	in.overflow = append(in.overflow, data...)
 	in.overflowMu.Unlock()
 	in.overflows.Inc()
@@ -153,18 +157,22 @@ func (in *Inbox) appendOverflow(data []byte) {
 
 // backoff yields briefly at first and sleeps once a writer has clearly
 // been waiting on the owner for a while.
+//
+//eris:hotpath
 func backoff(spins int) {
 	if spins < spinSpins {
 		runtime.Gosched()
 		return
 	}
-	time.Sleep(sleepBackoff)
+	time.Sleep(sleepBackoff) //eris:allowblock modeled backpressure: a full ring must stall the writer, per DESIGN.md
 }
 
 // Swap flips the double buffer: the previously writable buffer is drained
 // (waiting for in-flight writers) and its payload returned, valid until the
 // next Swap. Only the owning AEU calls Swap. Overflow-queued bytes are
 // appended to the returned payload.
+//
+//eris:hotpath
 func (in *Inbox) Swap() []byte {
 	old := in.writable.Load()
 	next := 1 - old
@@ -190,7 +198,7 @@ func (in *Inbox) Swap() []byte {
 	in.swaps.Inc()
 	payload := in.bufs[old][:descOffset(d)]
 
-	in.overflowMu.Lock()
+	in.overflowMu.Lock() //eris:allowblock bounded overflow drain under the lock; the common case holds it for an empty check
 	if len(in.overflow) > 0 {
 		payload = append(append([]byte(nil), payload...), in.overflow...)
 		in.overflow = in.overflow[:0]

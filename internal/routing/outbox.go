@@ -110,12 +110,16 @@ func newOutbox(r *Router, self uint32, node topology.NodeID) *Outbox {
 }
 
 // core returns the core this outbox's AEU is pinned to.
+//
+//eris:hotpath
 func (o *Outbox) core() topology.CoreID { return topology.CoreID(o.self) }
 
 // markTouched records that target has pending data. The touched list is
 // gated on queued, not dirty: FlushTarget clears dirty but leaves the
 // target queued, so re-touching a target flushed mid-iteration cannot
 // append a duplicate (only Flush dequeues).
+//
+//eris:hotpath
 func (o *Outbox) markTouched(to uint32) {
 	o.dirty[to] = true
 	if !o.queued[to] {
@@ -126,13 +130,15 @@ func (o *Outbox) markTouched(to uint32) {
 
 // appendCmd encodes cmd into the unicast buffer of target, flushing first
 // if the buffer would overflow. Appends are local memory writes.
+//
+//eris:hotpath
 func (o *Outbox) appendCmd(to uint32, cmd *command.Command) {
 	need := 1 + cmd.EncodedSize()
 	if buf := o.uni[to]; len(buf)+need > o.r.cfg.OutBufBytes && len(buf) > 0 {
 		o.FlushTarget(to)
 	}
 	if o.uni[to] == nil {
-		o.uni[to] = make([]byte, 0, o.r.cfg.OutBufBytes)
+		o.uni[to] = make([]byte, 0, o.r.cfg.OutBufBytes) //eris:allowalloc per-target buffer allocated once at first use, then reused across flushes
 	}
 	o.uni[to] = append(o.uni[to], kindCmd)
 	o.uni[to] = cmd.AppendEncode(o.uni[to])
@@ -144,6 +150,8 @@ func (o *Outbox) appendCmd(to uint32, cmd *command.Command) {
 }
 
 // Send routes a fully formed command to one explicit target AEU.
+//
+//eris:hotpath
 func (o *Outbox) Send(to uint32, cmd *command.Command) {
 	cmd.Source = o.self
 	o.appendCmd(to, cmd)
@@ -160,6 +168,8 @@ const sortedRouteMinKeys = 16
 // sorted first and resolved against the partition table in one ordered
 // merge; the virtual cost charged is RouteNSPerKey per key either way, so
 // simulated results do not depend on the resolution strategy.
+//
+//eris:hotpath
 func (o *Outbox) RouteLookup(obj ObjectID, keys []uint64, replyTo int32, tag uint64) int {
 	return o.routeKeyBatch(command.OpLookup, obj, keys, replyTo, tag, 0)
 }
@@ -167,24 +177,32 @@ func (o *Outbox) RouteLookup(obj ObjectID, keys []uint64, replyTo int32, tag uin
 // RouteLookupDeadline is RouteLookup with a request deadline (absolute
 // unix nanoseconds, 0 = none) stamped on the routed commands, so a
 // forwarded batch keeps its issuer's time budget.
+//
+//eris:hotpath
 func (o *Outbox) RouteLookupDeadline(obj ObjectID, keys []uint64, replyTo int32, tag, deadline uint64) int {
 	return o.routeKeyBatch(command.OpLookup, obj, keys, replyTo, tag, deadline)
 }
 
 // RouteDelete splits a key batch by owner and routes per-owner delete
 // commands, chunked like RouteLookup.
+//
+//eris:hotpath
 func (o *Outbox) RouteDelete(obj ObjectID, keys []uint64, replyTo int32, tag uint64) int {
 	return o.routeKeyBatch(command.OpDelete, obj, keys, replyTo, tag, 0)
 }
 
 // RouteDeleteDeadline is RouteDelete with a request deadline; see
 // RouteLookupDeadline.
+//
+//eris:hotpath
 func (o *Outbox) RouteDeleteDeadline(obj ObjectID, keys []uint64, replyTo int32, tag, deadline uint64) int {
 	return o.routeKeyBatch(command.OpDelete, obj, keys, replyTo, tag, deadline)
 }
 
 // routeKeyBatch is the shared owner-split/chunk body of the key-batch
 // routed operations (lookup, delete).
+//
+//eris:hotpath
 func (o *Outbox) routeKeyBatch(op command.Op, obj ObjectID, keys []uint64, replyTo int32, tag, deadline uint64) int {
 	table := o.r.object(obj).ranged
 	m := o.r.machine
@@ -231,12 +249,16 @@ func (o *Outbox) routeKeyBatch(op command.Op, obj ObjectID, keys []uint64, reply
 // RouteUpsert splits a KV batch by owner and routes per-owner upserts,
 // chunked like RouteLookup. The sort used for batch owner resolution is
 // stable, so duplicate keys keep their last-write-wins order.
+//
+//eris:hotpath
 func (o *Outbox) RouteUpsert(obj ObjectID, kvs []prefixtree.KV, replyTo int32, tag uint64) int {
 	return o.RouteUpsertDeadline(obj, kvs, replyTo, tag, 0)
 }
 
 // RouteUpsertDeadline is RouteUpsert with a request deadline; see
 // RouteLookupDeadline.
+//
+//eris:hotpath
 func (o *Outbox) RouteUpsertDeadline(obj ObjectID, kvs []prefixtree.KV, replyTo int32, tag, deadline uint64) int {
 	table := o.r.object(obj).ranged
 	m := o.r.machine
@@ -249,7 +271,7 @@ func (o *Outbox) RouteUpsertDeadline(obj ObjectID, kvs []prefixtree.KV, replyTo 
 	routed := kvs
 	if len(kvs) >= sortedRouteMinKeys {
 		o.sortKVs = append(o.sortKVs[:0], kvs...)
-		slices.SortStableFunc(o.sortKVs, func(a, b prefixtree.KV) int {
+		slices.SortStableFunc(o.sortKVs, func(a, b prefixtree.KV) int { //eris:allowalloc non-escaping comparator for the sorted-route fast path
 			return cmp.Compare(a.Key, b.Key)
 		})
 		routed = o.sortKVs
@@ -258,12 +280,12 @@ func (o *Outbox) RouteUpsertDeadline(obj ObjectID, kvs []prefixtree.KV, replyTo 
 			o.sortKeys = append(o.sortKeys, kv.Key)
 		}
 		if cap(o.owners) < len(routed) {
-			o.owners = make([]uint32, len(routed))
+			o.owners = make([]uint32, len(routed)) //eris:allowalloc amortized owner-scratch growth, reused across batches
 		}
 		table.OwnersSorted(o.sortKeys, o.owners[:len(routed)])
 	} else {
 		if cap(o.owners) < len(routed) {
-			o.owners = make([]uint32, len(routed))
+			o.owners = make([]uint32, len(routed)) //eris:allowalloc amortized owner-scratch growth, reused across batches
 		}
 		for i, kv := range routed {
 			o.owners[i] = table.Owner(kv.Key)
@@ -299,9 +321,11 @@ func (o *Outbox) RouteUpsertDeadline(obj ObjectID, kvs []prefixtree.KV, replyTo 
 // resolveOwners fills the owner scratch for routed keys, choosing between
 // per-key descents and the sorted one-pass merge. routed must be sorted
 // ascending when its length is at least sortedRouteMinKeys.
+//
+//eris:hotpath
 func (o *Outbox) resolveOwners(table *RangeTable, routed []uint64) []uint32 {
 	if cap(o.owners) < len(routed) {
-		o.owners = make([]uint32, len(routed))
+		o.owners = make([]uint32, len(routed)) //eris:allowalloc amortized owner-scratch growth, reused across batches
 	}
 	owners := o.owners[:len(routed)]
 	if len(routed) >= sortedRouteMinKeys {
@@ -354,6 +378,8 @@ func (o *Outbox) RouteRangeScan(obj ObjectID, lo, hi uint64, pred colstore.Predi
 // multicast stores the command once in the multicast table and appends a
 // reference record to each target's reference buffer (step 2, multicast
 // path, of Figure 4).
+//
+//eris:hotpath
 func (o *Outbox) multicast(cmd *command.Command, targets []uint32) {
 	if len(targets) == 0 {
 		return
@@ -384,6 +410,8 @@ func (o *Outbox) multicast(cmd *command.Command, targets []uint32) {
 }
 
 // allocMcastSlot finds a slot whose previous references are all consumed.
+//
+//eris:hotpath
 func (o *Outbox) allocMcastSlot() int {
 	for spins := 0; ; spins++ {
 		for i := 0; i < len(o.mcast); i++ {
@@ -402,6 +430,8 @@ func (o *Outbox) allocMcastSlot() int {
 
 // FlushTarget copies the pending buffers for one target into its inbox,
 // paying one remote round trip plus the transfer (step 3 of Figure 4).
+//
+//eris:hotpath
 func (o *Outbox) FlushTarget(to uint32) {
 	uni, refs := o.uni[to], o.refs[to]
 	total := len(uni) + len(refs)
@@ -433,6 +463,8 @@ func (o *Outbox) FlushTarget(to uint32) {
 
 // Flush sends every pending buffer (the AEU calls this when its loop starts
 // over) and dequeues every touched target.
+//
+//eris:hotpath
 func (o *Outbox) Flush() {
 	if len(o.touched) == 0 {
 		return
@@ -497,6 +529,8 @@ func (r *Router) Inject(aeu uint32, cmd *command.Command) {
 // returns — more precisely, until the next command is decoded or the next
 // Drain swaps the inbox. Callers that retain a command past fn must
 // Clone it (see command.Decoder).
+//
+//eris:hotpath
 func (r *Router) Drain(aeu uint32, fn func(command.Command)) int {
 	in := r.inboxes[aeu]
 	core := topology.CoreID(aeu)

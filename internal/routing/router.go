@@ -153,9 +153,13 @@ func (r *Router) Config() Config { return r.cfg }
 func (r *Router) Inbox(aeu uint32) *Inbox { return r.inboxes[aeu] }
 
 // Outbox returns AEU aeu's private outgoing buffers.
+//
+//eris:hotpath
 func (r *Router) Outbox(aeu uint32) *Outbox { return r.outboxes[aeu] }
 
 // nodeOfAEU returns the NUMA node AEU aeu is pinned on.
+//
+//eris:hotpath
 func (r *Router) nodeOfAEU(aeu uint32) topology.NodeID {
 	return r.machine.Topology().NodeOfCore(topology.CoreID(aeu))
 }
@@ -198,12 +202,14 @@ func (r *Router) RegisterSize(id ObjectID, holders []uint32) error {
 
 // object looks up a registered object; it panics on unknown IDs because
 // commands for unregistered objects indicate an engine bug, not user error.
+//
+//eris:hotpath
 func (r *Router) object(id ObjectID) *object {
-	r.mu.RLock()
+	r.mu.RLock() //eris:allowblock read-mostly object table; write-locked only at registration time
 	o := r.objects[id]
 	r.mu.RUnlock()
 	if o == nil {
-		panic(fmt.Sprintf("routing: unknown object %d", id))
+		panic(fmt.Sprintf("routing: unknown object %d", id)) //eris:allowalloc allocates only on the panic path for an unregistered object; unreachable in a configured engine
 	}
 	return o
 }

@@ -84,11 +84,15 @@ func NewFlatRangeTable(entries []csbtree.Entry) (*RangeTable, error) {
 }
 
 // Owner returns the AEU responsible for key.
+//
+//eris:hotpath
 func (rt *RangeTable) Owner(key uint64) uint32 {
 	return (*rt.idx.Load()).Lookup(key)
 }
 
 // Owners appends the entries intersecting [lo, hi] to dst.
+//
+//eris:hotpath
 func (rt *RangeTable) Owners(dst []csbtree.Entry, lo, hi uint64) []csbtree.Entry {
 	return (*rt.idx.Load()).Range(dst, lo, hi)
 }
@@ -96,6 +100,8 @@ func (rt *RangeTable) Owners(dst []csbtree.Entry, lo, hi uint64) []csbtree.Entry
 // OwnersSorted resolves the owner of every key of an ascending-sorted
 // batch in one pass over the partition table (one descent plus a linear
 // merge); owners must have at least len(keys) elements.
+//
+//eris:hotpath
 func (rt *RangeTable) OwnersSorted(keys []uint64, owners []uint32) {
 	(*rt.idx.Load()).LookupBatchSorted(keys, owners)
 }

@@ -231,6 +231,8 @@ func (t *Topology) NumNodes() int { return len(t.Nodes) }
 func (t *Topology) NumCores() int { return t.totalCores }
 
 // NodeOfCore maps a core to the multiprocessor it belongs to.
+//
+//eris:hotpath
 func (t *Topology) NodeOfCore(c CoreID) NodeID { return t.coreNode[c] }
 
 // CoresOfNode returns the half-open core range [first, last) owned by node.
@@ -240,9 +242,13 @@ func (t *Topology) CoresOfNode(n NodeID) (first, last CoreID) {
 }
 
 // Cost returns the calibrated access cost between a source and a home node.
+//
+//eris:hotpath
 func (t *Topology) Cost(src, home NodeID) PairCost { return t.costs[src][home] }
 
 // Route returns the link IDs traversed from src to home; empty when local.
+//
+//eris:hotpath
 func (t *Topology) Route(src, home NodeID) []LinkID { return t.routes[src][home] }
 
 // TotalLocalBandwidth sums the memory-controller bandwidth of all nodes; it

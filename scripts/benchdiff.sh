@@ -26,11 +26,11 @@ trap 'rm -rf "$out"; git worktree remove --force "$out/base" >/dev/null 2>&1 || 
 
 echo "== base: $BASE" >&2
 git worktree add --detach "$out/base" "$BASE" >/dev/null
-(cd "$out/base" && go test $PKGS -run=NONE -bench="$FILTER" \
+(cd "$out/base" && go test "$PKGS" -run=NONE -bench="$FILTER" \
 	-benchtime="$BENCHTIME" -count="$COUNT" -benchmem) >"$out/old.txt"
 
 echo "== head: $(git rev-parse --short HEAD) + working tree" >&2
-go test $PKGS -run=NONE -bench="$FILTER" \
+go test "$PKGS" -run=NONE -bench="$FILTER" \
 	-benchtime="$BENCHTIME" -count="$COUNT" -benchmem >"$out/new.txt"
 
 # Fail loudly instead of printing an empty diff: a missing results file or

@@ -21,6 +21,10 @@ work=$(mktemp -d)
 datadir="$work/data"
 ackfile="$work/acks.txt"
 srvlog="$work/server.log"
+# srvpid must exist before the trap can reference it: under `set -u` an
+# EXIT before the first start_server would otherwise die on the unbound
+# variable instead of cleaning up.
+srvpid=
 trap 'kill "$srvpid" 2>/dev/null || true; rm -rf "$work"' EXIT
 
 echo "== building"
